@@ -1,0 +1,210 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Long-vector stages early** (section 6's provable heuristic): a
+   strategy that scatters the big factor before the conflict-prone
+   kernel beats the reverse order.
+2. **Mesh-aware bucket latency** (section 7.1): two-phase (r + c - 2)
+   alpha versus the linear-array ring's (p - 1) alpha.
+3. **Excess link capacity** (section 7.1's Paragon refinement): raising
+   the per-channel capacity collapses the interleaving penalty the
+   linear-array hybrids pay.
+4. **Recursion overhead** (section 7.2): sweeping ``sw_overhead`` moves
+   the NX-vs-iCC crossover at 8 bytes — the explanation of Table 3's
+   short-vector losses.
+5. **NX staging copies**: the ``copy_factor`` knob, reported at 1.0 /
+   1.5 / 2.0 so the Table 3 shape can be read against an "honest-wire"
+   NX too."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, human_bytes, write_csv
+from repro.baselines.nx import nx_bcast
+from repro.core import CostModel, Strategy, api
+from repro.core.context import CollContext
+from repro.core.hybrid import hybrid_bcast, hybrid_collect
+from repro.sim import LinearArray, Machine, Mesh2D, PARAGON, UNIT
+
+
+class TestStageOrderAblation:
+    def test_scatter_big_factor_first(self, once, results_dir,
+                                      report):
+        """Simulated, not just modelled: (15x2, SMC) vs (2x15, SMC) on
+        a 30-node linear array with a long vector."""
+        n = 30_000
+
+        def prog(env, dims):
+            ctx = CollContext(env)
+            buf = np.zeros(n) if env.rank == 0 else None
+            out = yield from hybrid_bcast(ctx, buf, 0,
+                                          Strategy(dims, "SMC"), total=n)
+            assert len(out) == n
+            return True
+
+        machine = Machine(LinearArray(30), UNIT)
+
+        def run():
+            big_first = machine.run(prog, (15, 2)).time
+            small_first = machine.run(prog, (2, 15)).time
+            return big_first, small_first
+
+        big_first, small_first = once(run)
+        report(f"\nstage order: scatter-15-then-MST-2 = {big_first:.0f}, "
+              f"scatter-2-then-MST-15 = {small_first:.0f}")
+        write_csv(os.path.join(results_dir, "ablation_stage_order.csv"),
+                  ["order", "time"],
+                  [["big_factor_first", big_first],
+                   ["small_factor_first", small_first]])
+        assert big_first < small_first
+
+
+class TestMeshLatencyAblation:
+    def test_two_phase_vs_ring_latency(self, once, results_dir,
+                                       report):
+        """Collect of tiny blocks on 16x32: (r + c - 2) = 46 startups
+        versus the ring's 511."""
+        machine = Machine(Mesh2D(16, 32), PARAGON)
+
+        def prog(env, strategy):
+            ctx = CollContext(env)
+            mine = np.full(1, float(env.rank))
+            out = yield from hybrid_collect(ctx, mine, strategy)
+            assert len(out) == 512
+            return True
+
+        def run():
+            two_phase = machine.run(prog, Strategy((32, 16), "CC")).time
+            ring = machine.run(prog, Strategy((512,), "C")).time
+            return two_phase, ring
+
+        two_phase, ring = once(run)
+        report(f"\nmesh bucket latency: two-phase = {two_phase * 1e3:.2f} "
+              f"ms, ring = {ring * 1e3:.2f} ms "
+              f"(ratio {ring / two_phase:.1f})")
+        write_csv(os.path.join(results_dir, "ablation_mesh_latency.csv"),
+                  ["algorithm", "time"],
+                  [["two_phase", two_phase], ["ring", ring]])
+        # alpha rounds: 46 vs 511 -> about an 11x latency gap
+        assert ring / two_phase > 6.0
+
+
+class TestLinkCapacityAblation:
+    @pytest.mark.parametrize("capacity", [1.0, 2.0, 4.0])
+    def test_interleaving_penalty_shrinks(self, capacity, once):
+        """The stride-2 hybrid on a linear array pays a factor-2 channel
+        share at capacity 1 and nothing at capacity >= 2 (section 7.1's
+        'each link can accommodate more than one message without
+        penalty')."""
+        p, n = 8, 4096
+        params = UNIT.with_(link_capacity=capacity)
+        machine = Machine(LinearArray(p), params)
+        s = Strategy((2, 4), "SSCC")
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = np.zeros(n) if env.rank == 0 else None
+            out = yield from hybrid_bcast(ctx, buf, 0, s, total=n)
+            return len(out) == n
+
+        t = once(lambda: machine.run(prog).time)
+        cm_free = CostModel(params.with_(link_capacity=1e9), itemsize=8)
+        floor = cm_free.hybrid_bcast(s, n, conflicts=[1.0, 1.0])
+        if capacity >= 2.0:
+            assert t == pytest.approx(floor, rel=0.02)
+        else:
+            assert t > floor * 1.15
+
+
+class TestOverheadAblation:
+    def test_crossover_moves_with_sw_overhead(self, once,
+                                              results_dir, report):
+        """Table 3's 8-byte losses come from per-level recursion
+        overhead.  With delta = 0 the iCC MST broadcast must match or
+        beat NX at 8 bytes; at the calibrated delta it must lose
+        slightly."""
+        rows = []
+
+        def run():
+            for delta in (0.0, 6e-6, 12e-6, 24e-6):
+                params = PARAGON.with_(sw_overhead=delta)
+                machine = Machine(Mesh2D(16, 32), params)
+
+                def icc(env):
+                    buf = np.zeros(1) if env.rank == 0 else None
+                    out = yield from api.bcast(env, buf, root=0, total=1,
+                                               algorithm="short")
+                    return out is not None
+
+                def nxp(env):
+                    ctx = CollContext(env)
+                    buf = np.zeros(1) if env.rank == 0 else None
+                    out = yield from nx_bcast(ctx, buf, root=0)
+                    return out is not None
+
+                t_icc = machine.run(icc).time
+                t_nx = machine.run(nxp).time
+                rows.append([delta, t_nx, t_icc, t_nx / t_icc])
+            return rows
+
+        rows = once(run)
+        report("\n" + format_table(
+            ["sw_overhead (s)", "NX (s)", "iCC (s)", "ratio"],
+            [[f"{d:g}", f"{a:.6f}", f"{b:.6f}", f"{r:.2f}"]
+             for d, a, b, r in rows],
+            title="ablation: recursion overhead vs the 8-byte crossover"))
+        write_csv(os.path.join(results_dir, "ablation_overhead.csv"),
+                  ["sw_overhead", "nx_s", "icc_s", "ratio"], rows)
+
+        # delta = 0: iCC at least as fast (both are log-depth trees)
+        assert rows[0][3] >= 0.98
+        # calibrated and beyond: NX wins at 8 bytes, ratio below 1
+        assert rows[2][3] < 1.0
+        # monotone: more overhead, worse ratio
+        ratios = [r[3] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+class TestCopyFactorAblation:
+    def test_nx_gap_with_and_without_staging_copies(self, once,
+                                                    results_dir, report):
+        """Report the 1 MB broadcast gap for copy_factor in {1, 1.5, 2}:
+        even with honest wire accounting (1.0) the hybrid must win
+        clearly; the calibrated 2.0 reproduces the paper's ~12x."""
+        machine = Machine(Mesh2D(16, 32), PARAGON)
+        n = (1 << 20) // 8
+
+        def run():
+            def icc(env):
+                buf = np.zeros(n) if env.rank == 0 else None
+                out = yield from api.bcast(env, buf, root=0, total=n)
+                return len(out) == n
+
+            t_icc = machine.run(icc).time
+            rows = []
+            for cf in (1.0, 1.5, 2.0):
+                def nxp(env, cf=cf):
+                    ctx = CollContext(env)
+                    buf = np.zeros(n) if env.rank == 0 else None
+                    out = yield from nx_bcast(ctx, buf, root=0,
+                                              copy_factor=cf)
+                    return len(out) == n
+
+                t_nx = machine.run(nxp).time
+                rows.append([cf, t_nx, t_icc, t_nx / t_icc])
+            return rows
+
+        rows = once(run)
+        report("\n" + format_table(
+            ["copy_factor", "NX (s)", "iCC (s)", "ratio"],
+            [[f"{c:g}", f"{a:.4f}", f"{b:.4f}", f"{r:.1f}"]
+             for c, a, b, r in rows],
+            title="ablation: NX staging copies vs the 1 MB broadcast "
+                  "gap"))
+        write_csv(os.path.join(results_dir, "ablation_copy_factor.csv"),
+                  ["copy_factor", "nx_s", "icc_s", "ratio"], rows)
+
+        assert rows[0][3] > 3.0    # honest wire: still a big win
+        assert rows[-1][3] > 8.0   # calibrated: order-of-magnitude class

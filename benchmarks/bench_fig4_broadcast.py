@@ -1,0 +1,99 @@
+"""Figure 4 (right): measured broadcast on a 15 x 30 physical mesh.
+
+The deliberately awkward partition: 450 = 2 * 3^2 * 5^2 nodes, far from
+a power of two — the case the paper's building blocks were designed for
+("do not require power-of-two size partitions").  We sweep the same
+algorithms as the collect figure and additionally verify that the
+non-power-of-two machine costs only marginally more than a comparable
+power-of-two one."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import (format_table, human_bytes, plot_series,
+                            series_to_rows, sweep_operation, write_csv)
+from repro.baselines.nx import nx_bcast
+from repro.core.context import CollContext
+from repro.sim import Machine, Mesh2D, PARAGON
+
+MACHINE = Machine(Mesh2D(15, 30), PARAGON)
+LENGTHS = [8, 512, 8 * 1024, 64 * 1024, 512 * 1024, 1 << 20]
+
+
+def nx_program(env, n):
+    ctx = CollContext(env)
+    buf = np.zeros(n) if env.rank == 0 else None
+    out = yield from nx_bcast(ctx, buf, root=0)
+    assert len(out) == n
+    return True
+
+
+_CACHE = []
+
+
+def run_fig4b():
+    if _CACHE:
+        return _CACHE[0]
+    series = sweep_operation(
+        MACHINE, "bcast", LENGTHS,
+        {"short (MST)": "short",
+         "long (scatter+collect)": "long",
+         "iCC hybrid (auto)": "auto",
+         "NX csend(-1)": nx_program})
+    _CACHE.append(series)
+    return series
+
+
+def test_fig4_broadcast_curves(once, results_dir, report):
+    series = once(run_fig4b)
+    report("\n" + plot_series(
+        series, title="Figure 4 (right): broadcast on a 15x30 mesh "
+                      "(450 nodes, non-power-of-two)"))
+    rows = series_to_rows(series)
+    from repro.analysis import write_svg
+    write_svg(os.path.join(results_dir, "fig4_broadcast.svg"), series,
+              title="Figure 4 (right): broadcast on a 15x30 mesh")
+    write_csv(os.path.join(results_dir, "fig4_broadcast.csv"),
+              ["algorithm", "bytes", "seconds"], rows)
+    report(format_table(
+        ["algorithm", "length", "time (s)"],
+        [[lab, human_bytes(nb), f"{t:.6f}"] for lab, nb, t in rows]))
+
+    by = {s.label: s for s in series}
+    auto = by["iCC hybrid (auto)"]
+    short = by["short (MST)"]
+    long_ = by["long (scatter+collect)"]
+    nx = by["NX csend(-1)"]
+
+    # hybrid tracks the best pure algorithm everywhere
+    for n in LENGTHS:
+        assert auto.time_at(n) <= min(short.time_at(n),
+                                      long_.time_at(n)) * 1.05
+    # short messages: MST and hybrid effectively tie; the ring is awful
+    assert auto.time_at(8) <= short.time_at(8) * 1.01
+    assert long_.time_at(8) > 5 * auto.time_at(8)
+    # long messages: order-of-magnitude class win over NX
+    # (the paper's 12.5x for the 16x32 partition)
+    assert nx.time_at(1 << 20) / auto.time_at(1 << 20) > 5.0
+    # crossover between short and long pure algorithms inside the sweep
+    d = [short.time_at(n) - long_.time_at(n) for n in LENGTHS]
+    assert d[0] < 0 < d[-1]
+
+
+def test_non_power_of_two_costs_little(once):
+    """450 nodes is 'non-power-of-two hostile' for tree algorithms, yet
+    the hybrid broadcast on 15x30 must stay within a modest factor of
+    the 16x32 (512-node) machine at 1 MB — the building blocks do not
+    round up to powers of two."""
+    series = once(run_fig4b)
+    auto_450 = {s.label: s for s in series}["iCC hybrid (auto)"]
+
+    machine_512 = Machine(Mesh2D(16, 32), PARAGON)
+    from repro.analysis import run_operation
+    t_512 = run_operation(machine_512, "bcast", 1 << 20,
+                          algorithm="auto").time
+    t_450 = auto_450.time_at(1 << 20)
+    assert t_450 < t_512 * 1.6

@@ -1,0 +1,54 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper:
+
+* it runs the relevant simulations / cost-model evaluations once
+  (``benchmark.pedantic`` with a single round — the scientific output is
+  the *simulated* time, which is deterministic; wall time only measures
+  the simulator),
+* prints the paper-style table or ASCII figure,
+* writes a machine-readable CSV under ``bench_results/``, and
+* asserts the qualitative *shape* the paper reports (who wins, rough
+  factors, crossovers).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "bench_results")
+
+
+@pytest.fixture
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Print-and-persist: emitted text goes to stdout (visible with
+    ``pytest -s``) and to ``bench_results/<test name>.txt`` so the
+    paper-style tables survive captured runs."""
+    lines = []
+
+    def emit(text):
+        print(text)
+        lines.append(str(text))
+
+    yield emit
+    if lines:
+        path = os.path.join(RESULTS_DIR, request.node.name + ".txt")
+        with open(path, "w") as f:
+            f.write("\n".join(lines) + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a function exactly once under pytest-benchmark (the runs are
+    deterministic simulations; repeating them only wastes wall time)."""
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

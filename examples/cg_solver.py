@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Distributed conjugate-gradient solve driven by the collective library.
+
+The iterative-solver workload the paper's introduction alludes to: each
+CG iteration needs
+
+* a distributed mat-vec — here a 1-D row-block shifted Laplacian
+  (diagonally dominant, so CG converges in tens of iterations), whose
+  halo exchange is expressed as an allgather (``collect``) of the full
+  vector for simplicity, and
+* two global dot products — ``allreduce`` of a single double, the
+  latency-critical short-vector case the MST primitives exist for.
+
+The example solves ``A x = b`` for the shifted 1-D Poisson matrix on 32
+simulated Paragon nodes and reports residuals plus the communication
+profile (how much simulated time went to long-vector collects versus
+short-vector allreduces).
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro.core import api
+from repro.core.partition import partition_offsets, partition_sizes
+from repro.sim import Machine, Mesh2D, PARAGON
+
+P_ROWS, P_COLS = 4, 8
+N = 2048          # unknowns (64 per node)
+MAXITER = 60
+TOL = 1e-8
+
+
+def laplacian_matvec(x_full, lo, hi):
+    """Rows [lo, hi) of the shifted 1-D Poisson operator (3I - shift
+    pattern) applied to x."""
+    y = 3.0 * x_full[lo:hi]
+    y -= np.concatenate(([x_full[lo - 1]] if lo > 0 else [0.0],
+                         x_full[lo:hi - 1]))
+    y -= np.concatenate((x_full[lo + 1:hi],
+                         [x_full[hi]] if hi < len(x_full) else [0.0]))
+    return y
+
+
+def cg_program(env, b_global):
+    p = env.nranks
+    sizes = partition_sizes(N, p)
+    offs = partition_offsets(sizes)
+    lo, hi = offs[env.rank], offs[env.rank + 1]
+
+    b = b_global[lo:hi].copy()
+    x = np.zeros(hi - lo)
+    r = b.copy()
+    d = r.copy()
+
+    def dot(u, v):
+        """Global dot product: local partial + 1-element allreduce."""
+        local = np.array([float(u @ v)])
+        yield env.compute(2 * len(u))
+        total = yield from api.allreduce(env, local, "sum")
+        return float(total[0])
+
+    def matvec(vec_local):
+        """A @ v via collect of the full vector (halo exchange writ
+        large; keeps the example focused on the collectives)."""
+        full = yield from api.collect(env, vec_local, sizes=sizes)
+        yield env.compute(3 * (hi - lo))
+        return laplacian_matvec(full, lo, hi)
+
+    rs_old = yield from dot(r, r)
+    iters = 0
+    for it in range(MAXITER):
+        iters = it + 1
+        ad = yield from matvec(d)
+        dad = yield from dot(d, ad)
+        alpha = rs_old / dad
+        x += alpha * d
+        r -= alpha * ad
+        rs_new = yield from dot(r, r)
+        if np.sqrt(rs_new) < TOL:
+            break
+        d = r + (rs_new / rs_old) * d
+        rs_old = rs_new
+
+    return x, iters, np.sqrt(rs_new)
+
+
+def main():
+    rng = np.random.default_rng(7)
+    x_true = rng.standard_normal(N)
+    # b = A @ x_true for the shifted 1-D Poisson matrix
+    A = (np.diag(np.full(N, 3.0)) + np.diag(np.full(N - 1, -1.0), 1)
+         + np.diag(np.full(N - 1, -1.0), -1))
+    b = A @ x_true
+
+    machine = Machine(Mesh2D(P_ROWS, P_COLS), PARAGON)
+    run = machine.run(cg_program, b)
+
+    x = np.concatenate([res[0] for res in run.results])
+    iters = run.results[0][1]
+    resid = run.results[0][2]
+    err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+    print(f"CG on {P_ROWS * P_COLS} simulated nodes: {iters} iterations, "
+          f"residual {resid:.2e}, relative error {err:.2e}")
+    print(f"simulated time {run.time * 1e3:.2f} ms over {run.messages} "
+          f"messages ({run.bytes_moved / 1e6:.2f} MB moved)")
+    assert resid < TOL * 10 and err < 1e-6, "CG failed to converge"
+    print("OK: CG converged against the collective library")
+
+
+if __name__ == "__main__":
+    main()

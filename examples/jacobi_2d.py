@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""2-D Jacobi iteration on a Cartesian process grid.
+
+The other canonical mesh workload: a 2-D Laplace solve where each rank
+owns a tile of the global grid and every iteration needs
+
+* halo exchanges with the four grid neighbours (point-to-point, all
+  four transfers overlapping), and
+* a global residual norm (1-element allreduce — the latency-critical
+  path the MST primitives optimize) through a persistent
+  :class:`~repro.core.plans.Plan`.
+
+Runs a fixed-boundary Laplace problem on a simulated 4 x 4 Paragon
+submesh and checks the distributed iterate against a sequential solver
+running the same sweeps.
+
+Run:  python examples/jacobi_2d.py
+"""
+
+import numpy as np
+
+from repro.core import Communicator, make_plan
+from repro.core.cartesian import CartGrid
+from repro.sim import Machine, Mesh2D, PARAGON
+
+PR, PC = 4, 4            # process grid
+TILE = 16                # local tile edge (global grid 64 x 64 interior)
+MAXITER = 120
+TOL = 1e-4
+
+
+def sequential_reference(boundary, iters):
+    """The same Jacobi sweeps, sequentially, for verification."""
+    n = PR * TILE
+    u = np.zeros((n + 2, n + 2))
+    u[0, :] = boundary
+    for _ in range(iters):
+        u[1:-1, 1:-1] = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                                + u[1:-1, :-2] + u[1:-1, 2:])
+    return u[1:-1, 1:-1]
+
+
+def jacobi_program(env, boundary):
+    world = Communicator.world(env)
+    grid = CartGrid(world, PR, PC)
+    pr, pc = grid.coords()
+
+    # local tile with a one-cell halo ring
+    u = np.zeros((TILE + 2, TILE + 2))
+    if pr == 0:
+        # my slice of the hot top edge (Dirichlet): local column j maps
+        # to global column pc*TILE + j
+        u[0, :] = boundary[pc * TILE:pc * TILE + TILE + 2]
+
+    norm_plan = make_plan(env, "allreduce", 1, op="sum")
+
+    iters = 0
+    diff = np.inf
+    for it in range(MAXITER):
+        iters = it + 1
+        # exchange halos: rows (dim 0) then columns (dim 1); the four
+        # transfers in each call overlap
+        frm_up, frm_dn = yield from grid.halo_exchange(
+            0, u[1, 1:-1].copy(), u[-2, 1:-1].copy())
+        if frm_up is not None:
+            u[0, 1:-1] = frm_up
+        if frm_dn is not None:
+            u[-1, 1:-1] = frm_dn
+        frm_lo, frm_hi = yield from grid.halo_exchange(
+            1, u[1:-1, 1].copy(), u[1:-1, -2].copy(), tag=8)
+        if frm_lo is not None:
+            u[1:-1, 0] = frm_lo
+        if frm_hi is not None:
+            u[1:-1, -1] = frm_hi
+
+        new = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                      + u[1:-1, :-2] + u[1:-1, 2:])
+        yield env.compute(4 * TILE * TILE)
+        local = np.array([float(np.max(np.abs(new - u[1:-1, 1:-1])))])
+        u[1:-1, 1:-1] = new
+
+        # global convergence check: max-norm via a 1-element allreduce
+        total = yield from norm_plan(local)
+        diff = float(total[0]) / (PR * PC)  # op is sum; bound the max
+        if float(total[0]) < TOL:
+            break
+
+    return (pr, pc), u[1:-1, 1:-1].copy(), iters
+
+
+def main():
+    rng = np.random.default_rng(3)
+    boundary = np.abs(rng.standard_normal(PC * TILE + 2)) + 1.0
+
+    machine = Machine(Mesh2D(PR, PC), PARAGON)
+    run = machine.run(jacobi_program, boundary)
+    iters = run.results[0][2]
+    print(f"Jacobi on {PR}x{PC} simulated nodes: {iters} iterations, "
+          f"simulated {run.time * 1e3:.2f} ms, {run.messages} messages")
+
+    # stitch the tiles and compare against the sequential sweeps
+    n = PR * TILE
+    u = np.zeros((n, n))
+    for (pr, pc), tile, _ in run.results:
+        u[pr * TILE:(pr + 1) * TILE, pc * TILE:(pc + 1) * TILE] = tile
+    ref = sequential_reference(boundary, iters)
+    err = np.max(np.abs(u - ref))
+    print(f"max |distributed - sequential| after {iters} sweeps: "
+          f"{err:.2e}")
+    assert err < 1e-12, "distributed Jacobi diverged from reference"
+    print("OK: halo exchanges and allreduce reproduce the sequential "
+          "sweep exactly")
+
+
+if __name__ == "__main__":
+    main()

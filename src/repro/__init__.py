@@ -1,0 +1,27 @@
+"""InterCom reproduction (Barnett et al., SC 1994).
+
+A high-performance collective communication library — MST and bucket
+primitives, hybrid algorithms, group collectives — implemented on a
+simulated wormhole-routed 2-D mesh.
+
+Convenience re-exports cover the common entry points::
+
+    from repro import Machine, Mesh2D, PARAGON, api
+
+    machine = Machine(Mesh2D(16, 32), PARAGON)
+"""
+
+from .core import (CollContext, Communicator, CostModel, Selector,
+                   Strategy, api, make_plan)
+from .sim import (DELTA, IPSC860, PARAGON, UNIT, Hypercube, LinearArray,
+                  Machine, MachineParams, Mesh2D, Ring, Torus2D)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollContext", "Communicator", "CostModel", "Selector", "Strategy",
+    "api", "make_plan",
+    "DELTA", "IPSC860", "PARAGON", "UNIT", "Hypercube", "LinearArray",
+    "Machine", "MachineParams", "Mesh2D", "Ring", "Torus2D",
+    "__version__",
+]

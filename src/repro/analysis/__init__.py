@@ -1,0 +1,21 @@
+"""Experiment harness: sweeps, tables, and ASCII/CSV figure output."""
+
+from .ascii_plot import plot_series, series_to_rows
+from .calibrate import (calibrate, fit_alpha_beta, measure_gamma,
+                        measure_overhead, measure_pingpong)
+from .sweep import (OPERATION_PROGRAMS, Series, TABLE3_LENGTHS, byte_grid,
+                    elements_for, run_operation, sweep_operation)
+from .tables import format_table, human_bytes, write_csv
+from .svg_plot import render_svg, write_svg
+from .timeline import render_timeline, utilization
+
+__all__ = [
+    "plot_series", "series_to_rows",
+    "calibrate", "fit_alpha_beta", "measure_gamma", "measure_overhead",
+    "measure_pingpong",
+    "OPERATION_PROGRAMS", "Series", "TABLE3_LENGTHS", "byte_grid",
+    "elements_for", "run_operation", "sweep_operation",
+    "format_table", "human_bytes", "write_csv",
+    "render_svg", "write_svg",
+    "render_timeline", "utilization",
+]

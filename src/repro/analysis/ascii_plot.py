@@ -1,0 +1,78 @@
+"""Log-log ASCII charts — the Figure 2 / Figure 4 renderer.
+
+No plotting backend is available offline, so figures are emitted as (a)
+CSV series for external plotting and (b) terminal charts good enough to
+read crossovers off.  The charts put message length on a log-scaled x
+axis and time on a log-scaled y axis, like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .sweep import Series
+
+_MARKS = "ox+*#@%&$~"
+
+
+def _log(v: float) -> float:
+    return math.log10(max(v, 1e-300))
+
+
+def plot_series(series: Sequence[Series], width: int = 72,
+                height: int = 22, title: Optional[str] = None,
+                xlabel: str = "message length (bytes)",
+                ylabel: str = "time (s)") -> str:
+    """Render curves on a log-log grid; one mark character per series."""
+    series = [s for s in series if s.lengths]
+    if not series:
+        return "(no data)"
+    xs = [x for s in series for x in s.lengths]
+    ys = [y for s in series for y in s.times if y > 0]
+    x0, x1 = _log(min(xs)), _log(max(xs))
+    y0, y1 = _log(min(ys)), _log(max(ys))
+    if x1 - x0 < 1e-9:
+        x1 = x0 + 1
+    if y1 - y0 < 1e-9:
+        y1 = y0 + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(s.lengths, s.times):
+            if y <= 0:
+                continue
+            cx = round((_log(x) - x0) / (x1 - x0) * (width - 1))
+            cy = round((_log(y) - y0) / (y1 - y0) * (height - 1))
+            row = height - 1 - cy
+            grid[row][cx] = mark
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    # y-axis labels at top, middle, bottom
+    labels = {0: f"{10 ** y1:.2g}", height - 1: f"{10 ** y0:.2g}",
+              (height - 1) // 2: f"{10 ** ((y0 + y1) / 2):.2g}"}
+    lw = max(len(v) for v in labels.values())
+    for r, row in enumerate(grid):
+        lab = labels.get(r, "").rjust(lw)
+        out.append(f"{lab} |{''.join(row)}")
+    out.append(" " * lw + " +" + "-" * width)
+    xl = f"{10 ** x0:.0f}".ljust(width // 2)
+    xr = f"{10 ** x1:.3g}".rjust(width // 2)
+    out.append(" " * (lw + 2) + xl + xr)
+    out.append(" " * (lw + 2) + f"{xlabel}   [{ylabel} on y]")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} = {s.label}"
+                        for i, s in enumerate(series))
+    out.append("legend: " + legend)
+    return "\n".join(out)
+
+
+def series_to_rows(series: Sequence[Series]) -> List[List]:
+    """Long-format rows (label, bytes, seconds) for CSV emission."""
+    rows = []
+    for s in series:
+        for x, y in zip(s.lengths, s.times):
+            rows.append([s.label, x, y])
+    return rows

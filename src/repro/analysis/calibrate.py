@@ -1,0 +1,150 @@
+"""Machine characterization: measure alpha, beta and gamma empirically.
+
+Section 11: "To port the library between platforms or tune it for new
+operating system releases, it suffices to enter a few parameters that
+describe the latency, bandwidth and computation characteristics of the
+system" — and reference [9] (Littlefield, *Characterizing and Tuning
+Communications Performance on the Touchstone Delta and iPSC/860*) is
+the measurement methodology.
+
+This module runs the classic experiments against a machine — treating
+it as a black box, exactly as one would on real hardware:
+
+* **ping-pong** over a range of message lengths: round-trip time is
+  ``2 (alpha + n beta)``, so a least-squares line through
+  (bytes, half-round-trip) yields alpha (intercept) and beta (slope);
+* **combine loop**: timing ``k`` element-wise additions of an
+  ``n``-vector yields gamma.
+
+The result is a :class:`~repro.sim.params.MachineParams` ready to feed
+the strategy :class:`~repro.core.selection.Selector` — the library's
+entire porting procedure, automated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.machine import Machine
+from ..sim.params import MachineParams
+
+
+def measure_pingpong(machine: Machine, lengths: Sequence[int],
+                     src: int = 0, dst: Optional[int] = None
+                     ) -> List[Tuple[int, float]]:
+    """Half round-trip times between two nodes for each length (bytes).
+
+    ``dst`` defaults to the most distant node (distance is irrelevant
+    under wormhole routing, but measuring the far corner proves it).
+    """
+    if dst is None:
+        dst = machine.nnodes - 1
+    if src == dst:
+        raise ValueError("ping-pong needs two distinct nodes")
+    out: List[Tuple[int, float]] = []
+    for nbytes in lengths:
+        def prog(env):
+            payload = np.zeros(int(nbytes), dtype=np.uint8)
+            if env.rank == src:
+                yield env.send(dst, payload)
+                yield env.recv(dst)
+            elif env.rank == dst:
+                data = yield env.recv(src)
+                yield env.send(src, data)
+
+        run = machine.run(prog, ranks=[src, dst])
+        out.append((int(nbytes), run.time / 2.0))
+    return out
+
+
+def fit_alpha_beta(samples: Sequence[Tuple[int, float]]
+                   ) -> Tuple[float, float]:
+    """Least-squares fit of ``t = alpha + n beta`` through ping-pong
+    samples.  Returns (alpha, beta), clamped to non-negative."""
+    if len(samples) < 2:
+        raise ValueError("need at least two lengths to fit a line")
+    n = np.array([s[0] for s in samples], dtype=np.float64)
+    t = np.array([s[1] for s in samples], dtype=np.float64)
+    A = np.vstack([np.ones_like(n), n]).T
+    (alpha, beta), *_ = np.linalg.lstsq(A, t, rcond=None)
+    return max(float(alpha), 0.0), max(float(beta), 0.0)
+
+
+def measure_gamma(machine: Machine, nelems: int = 65536) -> float:
+    """Per-element combine time, measured on one node."""
+    def prog(env):
+        yield env.compute(nelems)
+
+    run = machine.run(prog, ranks=[0])
+    return run.time / nelems
+
+
+def measure_overhead(machine: Machine, calls: int = 64) -> float:
+    """Per-call library software overhead, measured on one node."""
+    def prog(env):
+        yield env.overhead(calls)
+
+    run = machine.run(prog, ranks=[0])
+    return run.time / calls
+
+
+def calibrate(machine: Machine,
+              lengths: Sequence[int] = (0, 64, 1024, 16384, 262144),
+              ) -> MachineParams:
+    """Full characterization: returns MachineParams fitted from
+    black-box measurements of the machine.
+
+    ``link_capacity`` is probed with the two-interleaved-flows
+    experiment: if two messages crossing the same channel still run at
+    full rate, the machine has excess link bandwidth.
+    """
+    samples = measure_pingpong(machine, lengths)
+    alpha, beta = fit_alpha_beta(samples)
+    gamma = measure_gamma(machine)
+    overhead = measure_overhead(machine)
+    capacity = _probe_link_capacity(machine, alpha, beta)
+    return MachineParams(alpha=alpha, beta=beta, gamma=gamma,
+                         sw_overhead=overhead, link_capacity=capacity)
+
+
+def _probe_link_capacity(machine: Machine, alpha: float,
+                         beta: float) -> float:
+    """Estimate how many interleaved messages a channel carries at full
+    rate, by timing k flows forced through one channel for growing k."""
+    if machine.nnodes < 4 or beta <= 0:
+        return 1.0
+    nbytes = 65536
+
+    def contended(env, k):
+        # flows i -> i+k for i in 0..k-1 share the middle channels
+        reqs = []
+        if env.rank < k:
+            reqs.append(env.isend(env.rank + k,
+                                  np.zeros(nbytes, dtype=np.uint8)))
+        elif env.rank < 2 * k:
+            reqs.append(env.irecv(env.rank - k))
+        if reqs:
+            yield env.waitall(*reqs)
+
+    base = alpha + nbytes * beta
+    capacity = 1.0
+    for k in (2, 3, 4, 6, 8):
+        if 2 * k > machine.nnodes:
+            break
+        # the probe is only meaningful if all k routes really do cross
+        # a common channel (on a mesh, large k wraps into the next row
+        # and the flows separate)
+        from collections import Counter
+        counts = Counter()
+        for i in range(k):
+            counts.update(machine.topology.route(i, i + k))
+        if not counts or max(counts.values()) < k:
+            break
+        t = machine.run(contended, k, ranks=range(2 * k)).time
+        if t <= base * 1.05:
+            capacity = float(k)
+        else:
+            break
+    return capacity

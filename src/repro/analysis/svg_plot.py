@@ -1,0 +1,158 @@
+"""Self-contained SVG line charts (no plotting backend required).
+
+The benchmark harness uses this to emit real figures for the Figure 2 /
+Figure 4 reproductions next to the CSV and ASCII artifacts: log–log
+axes, one polyline + marker set per series, decade gridlines and a
+legend.  The output is plain SVG 1.1, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import List, Sequence
+
+from .sweep import Series
+
+_COLORS = ["#1965b0", "#dc050c", "#4eb265", "#f7a72a", "#882e72",
+           "#777777", "#1aabb8", "#ee8866"]
+
+_MARKERS = "circle square diamond triangle".split()
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class _LogScale:
+    def __init__(self, lo: float, hi: float, a: float, b: float):
+        self.llo = math.log10(lo)
+        self.lhi = math.log10(hi)
+        if self.lhi - self.llo < 1e-12:
+            self.lhi = self.llo + 1.0
+        self.a = a
+        self.b = b
+
+    def __call__(self, v: float) -> float:
+        f = (math.log10(max(v, 1e-300)) - self.llo) / (self.lhi - self.llo)
+        return self.a + f * (self.b - self.a)
+
+    def decades(self) -> List[float]:
+        out = []
+        d = math.ceil(self.llo - 1e-9)
+        while d <= self.lhi + 1e-9:
+            out.append(10.0 ** d)
+            d += 1
+        return out
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    s = 3.2
+    if shape == "circle":
+        return (f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{s}" '
+                f'fill="{color}"/>')
+    if shape == "square":
+        return (f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s}" '
+                f'height="{2 * s}" fill="{color}"/>')
+    if shape == "diamond":
+        pts = f"{x},{y - s} {x + s},{y} {x},{y + s} {x - s},{y}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    pts = f"{x},{y - s} {x + s},{y + s} {x - s},{y + s}"
+    return f'<polygon points="{pts}" fill="{color}"/>'
+
+
+def _si(v: float) -> str:
+    if v >= 1e9:
+        return f"{v / 1e9:g}G"
+    if v >= 1e6:
+        return f"{v / 1e6:g}M"
+    if v >= 1e3:
+        return f"{v / 1e3:g}K"
+    if v >= 1:
+        return f"{v:g}"
+    if v >= 1e-3:
+        return f"{v * 1e3:g}m"
+    if v >= 1e-6:
+        return f"{v * 1e6:g}u"
+    return f"{v:.0e}"
+
+
+def render_svg(series: Sequence[Series], title: str = "",
+               xlabel: str = "message length (bytes)",
+               ylabel: str = "time (s)",
+               width: int = 640, height: int = 440) -> str:
+    """A complete SVG document for the given curves (log–log axes)."""
+    series = [s for s in series if s.lengths]
+    if not series:
+        return ('<svg xmlns="http://www.w3.org/2000/svg" width="200" '
+                'height="40"><text x="8" y="24">no data</text></svg>')
+    xs = [x for s in series for x in s.lengths]
+    ys = [y for s in series for y in s.times if y > 0]
+    ml, mr, mt, mb = 64, 160, 34, 46
+    sx = _LogScale(min(xs), max(xs), ml, width - mr)
+    sy = _LogScale(min(ys), max(ys), height - mb, mt)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="Helvetica,Arial,sans-serif" '
+        f'font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{ml}" y="20" font-size="13" font-weight="bold">'
+        f'{_esc(title)}</text>',
+    ]
+
+    # gridlines at decades
+    for v in sx.decades():
+        x = sx(v)
+        parts.append(f'<line x1="{x:.1f}" y1="{mt}" x2="{x:.1f}" '
+                     f'y2="{height - mb}" stroke="#dddddd"/>')
+        parts.append(f'<text x="{x:.1f}" y="{height - mb + 16}" '
+                     f'text-anchor="middle">{_si(v)}</text>')
+    for v in sy.decades():
+        y = sy(v)
+        parts.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                     f'y2="{y:.1f}" stroke="#dddddd"/>')
+        parts.append(f'<text x="{ml - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{_si(v)}</text>')
+
+    # frame + axis labels
+    parts.append(f'<rect x="{ml}" y="{mt}" width="{width - mr - ml}" '
+                 f'height="{height - mb - mt}" fill="none" '
+                 f'stroke="#333333"/>')
+    parts.append(f'<text x="{(ml + width - mr) / 2:.0f}" '
+                 f'y="{height - 8}" text-anchor="middle">'
+                 f'{_esc(xlabel)}</text>')
+    parts.append(f'<text x="14" y="{(mt + height - mb) / 2:.0f}" '
+                 f'text-anchor="middle" transform="rotate(-90 14 '
+                 f'{(mt + height - mb) / 2:.0f})">{_esc(ylabel)}</text>')
+
+    # curves
+    for i, s in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        marker = _MARKERS[i % len(_MARKERS)]
+        pts = [(sx(x), sy(y)) for x, y in zip(s.lengths, s.times)
+               if y > 0]
+        if len(pts) > 1:
+            d = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            parts.append(f'<polyline points="{d}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.6"/>')
+        for x, y in pts:
+            parts.append(_marker(marker, x, y, color))
+        # legend entry
+        ly = mt + 10 + i * 18
+        lx = width - mr + 12
+        parts.append(_marker(marker, lx, ly, color))
+        parts.append(f'<text x="{lx + 10}" y="{ly + 4}">'
+                     f'{_esc(s.label)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(path: str, series: Sequence[Series], **kwargs) -> str:
+    """Render and write; returns the path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as f:
+        f.write(render_svg(series, **kwargs) + "\n")
+    return path

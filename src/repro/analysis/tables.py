@@ -1,0 +1,62 @@
+"""Paper-style tables: fixed-width text rendering and CSV emission.
+
+Used by the benchmark harness to print the same rows the paper reports
+(Table 2's strategy costs, Table 3's NX-versus-InterCom times) and to
+persist machine-readable copies under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table with a rule under the header."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row):
+        return "  ".join(s.rjust(w) for s, w in zip(row, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> str:
+    """Write rows to CSV, creating parent directories; returns path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        w.writerows(rows)
+    return path
+
+
+def human_bytes(nbytes: float) -> str:
+    """8 -> '8', 65536 -> '64K', 1048576 -> '1M' (paper style)."""
+    if nbytes >= 1 << 20 and nbytes % (1 << 20) == 0:
+        return f"{int(nbytes) >> 20}M"
+    if nbytes >= 1 << 10 and nbytes % (1 << 10) == 0:
+        return f"{int(nbytes) >> 10}K"
+    return f"{int(nbytes)}"

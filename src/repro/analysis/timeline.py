@@ -1,0 +1,104 @@
+"""Per-node activity timelines rendered from a message trace.
+
+A debugging companion to the Figure 1 step tables: for each node, an
+ASCII lane showing when it was sending (``>``), receiving (``<``), or
+doing both (``x``), with time binned across the run.  Makes pipeline
+bubbles, serialization, and load imbalance visible at a glance:
+
+    node  0 |>>>>>>>>>>>>                             |
+    node  1 |<<<<<<<<<<<<x>>>>>>>>>>>                 |
+    node  2 |            <<<<<<<<<<<<x>>>>>>>>>>>     |
+    ...
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.trace import Tracer
+
+
+def _bins(t0: float, t1: float, width: int, lo: float, hi: float
+          ) -> range:
+    """Column indices covered by the interval [t0, t1)."""
+    if hi <= lo:
+        return range(0)
+    a = int((t0 - lo) / (hi - lo) * width)
+    b = int(math.ceil((t1 - lo) / (hi - lo) * width))
+    return range(max(a, 0), min(max(b, a + 1), width))
+
+
+def render_timeline(tracer: Tracer, nnodes: int, width: int = 64,
+                    nodes: Optional[Sequence[int]] = None) -> str:
+    """ASCII activity lanes, one per node.
+
+    ``>`` sending, ``<`` receiving, ``x`` both, ``.`` idle.  The busy
+    interval of a message is taken from its rendezvous to completion
+    (the span during which the transfer occupies the node's port).
+    """
+    recs = tracer.completed()
+    if not recs:
+        return "(no traffic)"
+    lo = min(r.t_match for r in recs)
+    hi = max(r.t_complete for r in recs)
+    if nodes is None:
+        nodes = range(nnodes)
+    nodes = list(nodes)
+
+    send_lanes: Dict[int, List[bool]] = {v: [False] * width for v in nodes}
+    recv_lanes: Dict[int, List[bool]] = {v: [False] * width for v in nodes}
+    for r in recs:
+        for col in _bins(r.t_match, r.t_complete, width, lo, hi):
+            if r.src in send_lanes:
+                send_lanes[r.src][col] = True
+            if r.dst in recv_lanes:
+                recv_lanes[r.dst][col] = True
+
+    label_w = len(str(max(nodes))) if nodes else 1
+    out = [f"t = {lo:g} .. {hi:g}  ({width} columns)"]
+    for v in nodes:
+        cells = []
+        for s, r in zip(send_lanes[v], recv_lanes[v]):
+            cells.append("x" if s and r else ">" if s
+                         else "<" if r else ".")
+        out.append(f"node {str(v).rjust(label_w)} |{''.join(cells)}|")
+    return "\n".join(out)
+
+
+def utilization(tracer: Tracer, nnodes: int,
+                until: Optional[float] = None) -> List[float]:
+    """Fraction of the run each node spent with traffic in flight
+    (send or receive).  A cheap load-balance metric."""
+    recs = tracer.completed()
+    if not recs:
+        return [0.0] * nnodes
+    lo = min(r.t_match for r in recs)
+    hi = until if until is not None else max(r.t_complete for r in recs)
+    span = hi - lo
+    if span <= 0:
+        return [0.0] * nnodes
+    # merge each node's busy intervals
+    busy: Dict[int, List[Tuple[float, float]]] = {}
+    for r in recs:
+        for node in (r.src, r.dst):
+            if 0 <= node < nnodes:
+                busy.setdefault(node, []).append(
+                    (r.t_match, r.t_complete))
+    out = []
+    for node in range(nnodes):
+        ivals = sorted(busy.get(node, []))
+        total = 0.0
+        cur_lo: Optional[float] = None
+        cur_hi = 0.0
+        for a, b in ivals:
+            if cur_lo is None or a > cur_hi:
+                if cur_lo is not None:
+                    total += cur_hi - cur_lo
+                cur_lo, cur_hi = a, b
+            else:
+                cur_hi = max(cur_hi, b)
+        if cur_lo is not None:
+            total += cur_hi - cur_lo
+        out.append(min(total / span, 1.0))
+    return out

@@ -1,0 +1,10 @@
+"""Baseline collective implementations: the NX-style comparator of
+Table 3 and the NX-to-iCC compatibility interface of section 10."""
+
+from .nx import (nx_bcast, nx_collect, nx_collect_dissemination,
+                 nx_gather, nx_gdsum, nx_reduce)
+from .nxtoicc import NXInterface
+
+__all__ = ["nx_bcast", "nx_collect", "nx_collect_dissemination",
+           "nx_gather", "nx_gdsum", "nx_reduce",
+           "NXInterface"]

@@ -1,0 +1,238 @@
+"""NX-style baseline collectives (the paper's comparator in Table 3).
+
+The Intel NX operating system's collective calls (``csend(-1)``,
+``gcolx``, ``gdsum``, ...) are closed source and lost; what is documented
+is their *character*: NX descended from Intel's iPSC hypercube line, so
+its collectives are hypercube-style recursive-doubling/binomial
+algorithms, applied to the Paragon mesh with no awareness of the physical
+topology and with a single technique per operation (no short/long vector
+distinction).  That is precisely the design the paper's library improves
+on:
+
+* **binomial-tree broadcast** — ``ceil(log2 p)`` rounds, the *full*
+  vector on every edge (beta cost ``L n beta`` versus the hybrid's
+  ``~2 n beta``), with rank-order partners whose routes collide on the
+  mesh;
+* **binomial fan-in / fan-out global sum** — combine the *full* vector
+  up a binomial tree and broadcast it back down,
+  ``2 L (alpha + n beta) + L n gamma``;
+* **Bruck-style dissemination collect** — ``L`` rounds of doubling block
+  counts at power-of-two rank distances, again conflict-blind.
+
+Being flat, hand-tuned C loops, the NX calls charge the library software
+overhead *once* per call instead of once per recursion level — this is
+why NX wins for 8-byte messages in Table 3 (ratios 0.92 / 0.88) while
+losing by an order of magnitude for long vectors.
+
+``copy_factor`` models NX's staging copies through kernel message
+buffers: NX collective calls were built on the OSF message layer's
+buffered delivery, and contemporaneous measurements (e.g. Littlefield's
+Touchstone tuning reports, reference [9] of the paper) put NX collective
+effective bandwidth at roughly half the point-to-point rate.  The
+default of 2.0 reflects that; pass 1.0 to bill only the honest wire
+traffic (the ablation benchmark reports both).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.context import CollContext
+from ..core.ops import get_op
+
+
+def _vrank(rank: int, root: int, p: int) -> int:
+    """Rank relative to the root (the root becomes virtual rank 0)."""
+    return (rank - root) % p
+
+
+def _arank(vrank: int, root: int, p: int) -> int:
+    return (vrank + root) % p
+
+
+def nx_bcast(ctx: CollContext, buf: Optional[np.ndarray], root: int = 0,
+             copy_factor: float = 2.0) -> Generator:
+    """Binomial-tree broadcast on rank order (``csend(-1)`` stand-in)."""
+    me = ctx.require_member()
+    p = ctx.size
+    yield ctx.overhead()
+    if p == 1:
+        return buf
+    v = _vrank(me, root, p)
+    L = (p - 1).bit_length()
+    # my parent is v with its lowest set bit cleared
+    if v != 0:
+        parent_v = v & (v - 1)
+        buf = yield ctx.recv(_arank(parent_v, root, p))
+    # my children are v + 2^t for every 2^t below my lowest set bit
+    # (the root relays on every bit), high bits first
+    top = L - 1 if v == 0 else (v & -v).bit_length() - 2
+    for t in range(top, -1, -1):
+        child = v + (1 << t)
+        if child < p:
+            nb = buf.nbytes * copy_factor
+            yield ctx.send(_arank(child, root, p), buf, nbytes=nb)
+    return buf
+
+
+def nx_reduce(ctx: CollContext, vec: np.ndarray, op="sum", root: int = 0,
+              copy_factor: float = 2.0) -> Generator:
+    """Binomial fan-in combine of *full* vectors to the root."""
+    op = get_op(op)
+    me = ctx.require_member()
+    p = ctx.size
+    yield ctx.overhead()
+    if p == 1:
+        return vec.copy()
+    v = _vrank(me, root, p)
+    acc = vec
+    # combine up the binomial tree: low bits first (children arrive in
+    # increasing subtree size, the reverse of the broadcast order)
+    t = 0
+    while (1 << t) < p:
+        bit = 1 << t
+        if v & bit:
+            parent_v = v - bit  # clear the lowest set bit
+            yield ctx.send(_arank(parent_v, root, p), acc,
+                           nbytes=acc.nbytes * copy_factor)
+            return None if me != root else acc
+        child_v = v + bit
+        if child_v < p:
+            other = yield ctx.recv(_arank(child_v, root, p))
+            yield ctx.compute(len(other))
+            acc = op(acc, other)
+        t += 1
+    return acc
+
+
+def nx_gdsum(ctx: CollContext, vec: np.ndarray, op="sum",
+             copy_factor: float = 2.0) -> Generator:
+    """Binomial fan-in / fan-out global combine leaving the result on
+    every node (``gdsum``/``gdhigh``/... stand-in).
+
+    The *full* vector travels both up and down the tree — the
+    single-technique design the paper's distributed combines replace.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    acc = yield from nx_reduce(ctx, vec, op=op, root=0,
+                               copy_factor=copy_factor)
+    acc = yield from nx_bcast(ctx, acc, root=0, copy_factor=copy_factor)
+    return acc
+
+
+def nx_collect(ctx: CollContext, myblock: np.ndarray,
+               sizes: Optional[Sequence[int]] = None,
+               copy_factor: float = 2.0) -> Generator:
+    """Ring-shift collect (``gcolx`` stand-in): ``p - 1`` sequential
+    shift rounds, each rank forwarding the newest block to its
+    right-hand neighbour.
+
+    The paper's Table 3 shows NX's 8-byte collect costing 0.27 s on 512
+    nodes — about ``2 p`` message latencies — which rules out any
+    log-depth scheme and matches a ring pass (the natural concatenation
+    algorithm of the era).  The ``p - 1`` startups are precisely what
+    the iCC short-vector collect (gather + MST broadcast, ``2 log2 p``
+    startups) demolishes, and the full-length rounds with staging
+    copies lose for long vectors too.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    yield ctx.overhead()
+    if p == 1:
+        return myblock
+
+    right = (me + 1) % p
+    left = (me - 1) % p
+    blocks: List[Optional[np.ndarray]] = [None] * p
+    blocks[me] = myblock
+    cur = me
+    for _ in range(p - 1):
+        payload = blocks[cur]
+        sreq = ctx.isend(right, payload,
+                         nbytes=payload.nbytes * copy_factor)
+        rreq = ctx.irecv(left)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        cur = (cur - 1) % p
+        blocks[cur] = incoming
+    return np.concatenate(blocks)
+
+
+def nx_collect_dissemination(ctx: CollContext, myblock: np.ndarray,
+                             sizes: Optional[Sequence[int]] = None,
+                             copy_factor: float = 2.0) -> Generator:
+    """Dissemination (Bruck) collect: ``ceil(log2 p)`` rounds, block
+    counts doubling at power-of-two rank distances.
+
+    A *better* algorithm than any NX plausibly shipped (its 8-byte cost
+    would have been ~25x below Table 3's measurement) — kept as the
+    strongest-possible-baseline ablation for the collect comparison.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    yield ctx.overhead()
+    if p == 1:
+        return myblock
+
+    # cyclic holdings: block ids me, me+1, ... (mod p)
+    blocks: List[np.ndarray] = [myblock]
+    have = 1
+    while have < p:
+        m = min(have, p - have)
+        dst = (me - have) % p
+        src = (me + have) % p
+        payload = blocks[0] if m == 1 and len(blocks) == 1 else \
+            np.concatenate(blocks[:m])
+        sreq = ctx.isend(dst, payload,
+                         nbytes=payload.nbytes * copy_factor)
+        rreq = ctx.irecv(src)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        # split the incoming concatenation: it carries block ids
+        # me+have .. me+have+m-1 (mod p)
+        parts = []
+        off = 0
+        for j in range(m):
+            b = (me + have + j) % p
+            parts.append(incoming[off:off + sizes[b]])
+            off += sizes[b]
+        blocks.extend(parts)
+        have += m
+
+    # blocks are in cyclic order starting at `me`; rotate into rank order
+    ordered = [None] * p
+    for j, arr in enumerate(blocks):
+        ordered[(me + j) % p] = arr
+    return np.concatenate(ordered)
+
+
+def nx_gather(ctx: CollContext, myblock: np.ndarray, root: int = 0,
+              sizes: Optional[Sequence[int]] = None,
+              copy_factor: float = 2.0) -> Generator:
+    """Linear gather (every rank sends straight to the root) — the
+    simplest conceivable baseline, with the root's ejection port as the
+    bottleneck.  Kept for the ablation benches."""
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    yield ctx.overhead()
+    if me == root:
+        parts: List[Optional[np.ndarray]] = [None] * p
+        parts[me] = myblock
+        reqs = {i: ctx.irecv(i) for i in range(p) if i != me}
+        yield ctx.waitall(*reqs.values())
+        for i, req in reqs.items():
+            parts[i] = req.data
+        return np.concatenate(parts)
+    yield ctx.send(root, myblock, nbytes=myblock.nbytes * copy_factor)
+    return None

@@ -1,0 +1,111 @@
+"""The NX compatibility interface (section 10 of the paper).
+
+"The Intercom library also contains a direct NX interface, which
+converts all NX collective operations to Intercom collective operations
+(except the NX broadcast operation, csend(-1), which must be changed
+explicitly to the Intercom operation iCC_bcast())."
+
+:class:`NXInterface` exposes the NX collective calling sequences —
+``gcolx`` (concatenation), ``gdsum``/``gdprod``/``gdlow``/``gdhigh``
+(double-precision global combines), ``gisum`` etc. — and routes them
+either to the native NX baselines (``mode="nx"``) or to the InterCom
+hybrids (``mode="icc"``, the paper's ``NXtoiCC.<vers>.a`` link line).
+Programs written against this interface run unmodified under both
+libraries, which is exactly how the Table 3 comparison is staged.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from ..core import api
+from ..core.context import CollContext
+from ..sim.engine import RankEnv
+from . import nx
+
+
+class NXInterface:
+    """NX-flavoured collective calls, backed by NX or InterCom.
+
+    Parameters
+    ----------
+    env:
+        The rank's environment.
+    mode:
+        ``"nx"`` for the native NX baselines, ``"icc"`` for the
+        InterCom hybrids behind the same calling sequences.
+    group:
+        Optional node group (NX operated on the whole partition; groups
+        are an InterCom extension, honoured by both modes here).
+    """
+
+    def __init__(self, env: RankEnv, mode: str = "icc",
+                 group: Optional[Sequence[int]] = None, tag: int = 0):
+        if mode not in ("nx", "icc"):
+            raise ValueError(f"mode must be 'nx' or 'icc', got {mode!r}")
+        self.env = env
+        self.mode = mode
+        self.ctx = CollContext(env, group, tag=tag)
+
+    # -- global combines -------------------------------------------------
+
+    def _combine_all(self, vec: np.ndarray, op: str) -> Generator:
+        if self.mode == "nx":
+            return (yield from nx.nx_gdsum(self.ctx, vec, op=op))
+        return (yield from api.allreduce(self.ctx, vec, op))
+
+    def gdsum(self, vec: np.ndarray) -> Generator:
+        """Global sum of double vectors, result on every node."""
+        return (yield from self._combine_all(np.asarray(vec, np.float64),
+                                             "sum"))
+
+    def gdprod(self, vec: np.ndarray) -> Generator:
+        """Global product of double vectors."""
+        return (yield from self._combine_all(np.asarray(vec, np.float64),
+                                             "prod"))
+
+    def gdlow(self, vec: np.ndarray) -> Generator:
+        """Global element-wise minimum of double vectors."""
+        return (yield from self._combine_all(np.asarray(vec, np.float64),
+                                             "min"))
+
+    def gdhigh(self, vec: np.ndarray) -> Generator:
+        """Global element-wise maximum of double vectors."""
+        return (yield from self._combine_all(np.asarray(vec, np.float64),
+                                             "max"))
+
+    def gisum(self, vec: np.ndarray) -> Generator:
+        """Global sum of integer vectors."""
+        return (yield from self._combine_all(np.asarray(vec, np.int64),
+                                             "sum"))
+
+    # -- concatenation ----------------------------------------------------
+
+    def gcolx(self, myblock: np.ndarray,
+              sizes: Optional[Sequence[int]] = None) -> Generator:
+        """Concatenation of blocks with known lengths, result on every
+        node (Table 3's "Collect X (known lengths)")."""
+        if self.mode == "nx":
+            return (yield from nx.nx_collect(self.ctx, myblock,
+                                             sizes=sizes))
+        return (yield from api.collect(self.ctx, myblock, sizes=sizes))
+
+    # -- broadcast ---------------------------------------------------------
+
+    def icc_bcast(self, buf: Optional[np.ndarray], root: int = 0,
+                  total: Optional[int] = None) -> Generator:
+        """The broadcast: NX's ``csend(-1)`` has no group semantics, so
+        (as the paper notes) it must be called explicitly; under
+        ``mode="nx"`` this runs the NX binomial tree."""
+        if self.mode == "nx":
+            return (yield from nx.nx_bcast(self.ctx, buf, root=root))
+        return (yield from api.bcast(self.ctx, buf, root=root,
+                                     total=total))
+
+    # -- sync -------------------------------------------------------------
+
+    def gsync(self) -> Generator:
+        """Barrier."""
+        return (yield from api.barrier(self.ctx))

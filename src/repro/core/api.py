@@ -1,0 +1,213 @@
+"""Public iCC-style collective API.
+
+These are the user-facing operations of the library — the analogue of
+``iCC_bcast()`` and friends from section 10.  Each function is an SPMD
+generator to be ``yield from``-ed inside a rank program:
+
+.. code-block:: python
+
+    from repro.core import api
+
+    def program(env):
+        x = np.arange(1000.0) if env.rank == 0 else None
+        x = yield from api.bcast(env, x, root=0, total=1000)
+        s = yield from api.allreduce(env, x)
+        return s
+
+Every operation accepts:
+
+``group``
+    physical node ids (logical order); default all nodes.  Group
+    structure is extracted automatically (section 9) and mesh-aligned
+    groups get mesh-aware strategies.
+``algorithm``
+    ``"auto"`` (cost-model selection — the library's reason to exist),
+    ``"short"`` (pure short-vector algorithm), ``"long"`` (pure
+    long-vector algorithm), a :class:`~repro.core.strategy.Strategy`,
+    or a parseable strategy string like ``"2x3x5:SSMCC"``.
+``tag``
+    message tag; concurrent collectives on overlapping groups need
+    distinct tags.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .context import CollContext
+from .groups import classify
+from .hybrid import (hybrid_allreduce, hybrid_bcast, hybrid_collect,
+                     hybrid_reduce, hybrid_reduce_scatter)
+from .primitives_short import mst_bcast, mst_gather, mst_reduce, mst_scatter
+from .selection import selector_for
+from .strategy import Strategy
+
+AlgorithmSpec = Union[str, Strategy]
+
+_SHORT = {
+    "bcast": "M", "reduce": "M", "allreduce": "M",
+    "collect": "M", "reduce_scatter": "M",
+}
+_LONG = {
+    "bcast": "SC", "reduce": "SC", "allreduce": "SC",
+    "collect": "C", "reduce_scatter": "S",
+}
+
+
+def _context(env, group, tag) -> CollContext:
+    if isinstance(env, CollContext):
+        if group is not None:
+            raise ValueError("pass either a context or a group, not both")
+        return env
+    return CollContext(env, group, tag)
+
+
+def _mesh_shape(ctx: CollContext) -> Optional[Tuple[int, int]]:
+    """(subrows, subcols) if the group is mesh-aligned, else None."""
+    struct = classify(ctx.group, ctx.env.topology)
+    if struct.is_mesh_aligned and struct.shape is not None:
+        return struct.shape
+    return None
+
+
+def resolve_strategy(ctx: CollContext, operation: str,
+                     algorithm: AlgorithmSpec, n: int,
+                     itemsize: int) -> Strategy:
+    """Turn an algorithm spec into a concrete strategy for this group."""
+    p = ctx.size
+    if isinstance(algorithm, Strategy):
+        return algorithm
+    if algorithm == "short":
+        return Strategy((p,), _SHORT[operation])
+    if algorithm == "long":
+        return Strategy((p,), _LONG[operation])
+    if algorithm == "auto":
+        sel = selector_for(ctx.env.params, itemsize=itemsize)
+        return sel.best(operation, p, n, mesh_shape=_mesh_shape(ctx)).strategy
+    # otherwise: a strategy string like "2x3x5:SSMCC"
+    return Strategy.parse(algorithm)
+
+
+# ----------------------------------------------------------------------
+# the seven operations of Table 1
+# ----------------------------------------------------------------------
+
+def bcast(env, buf: Optional[np.ndarray], root: int = 0, *,
+          group: Optional[Sequence[int]] = None,
+          total: Optional[int] = None,
+          algorithm: AlgorithmSpec = "auto",
+          tag: int = 0) -> Generator:
+    """Broadcast: ``x`` at the root, ``x`` at every group member after.
+
+    ``total`` (vector length, elements) must be passed at non-root ranks
+    — lengths are assumed known, as in the original library.
+    """
+    ctx = _context(env, group, tag)
+    me = ctx.require_member()
+    if total is None:
+        if me != root:
+            raise ValueError("bcast needs total= at non-root ranks")
+        total = len(buf)
+    itemsize = buf.dtype.itemsize if (me == root and buf is not None) else 8
+    strategy = resolve_strategy(ctx, "bcast", algorithm, total, itemsize)
+    return (yield from hybrid_bcast(ctx, buf, root, strategy, total=total))
+
+
+def reduce(env, vec: np.ndarray, op="sum", root: int = 0, *,
+           group: Optional[Sequence[int]] = None,
+           algorithm: AlgorithmSpec = "auto",
+           tag: int = 0) -> Generator:
+    """Combine-to-one: element-wise combination of every member's ``vec``
+    lands on the root (None elsewhere)."""
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    strategy = resolve_strategy(ctx, "reduce", algorithm, len(vec),
+                                vec.dtype.itemsize)
+    return (yield from hybrid_reduce(ctx, vec, op, root, strategy))
+
+
+def allreduce(env, vec: np.ndarray, op="sum", *,
+              group: Optional[Sequence[int]] = None,
+              algorithm: AlgorithmSpec = "auto",
+              tag: int = 0) -> Generator:
+    """Global combine-to-all: every member returns the combination."""
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    strategy = resolve_strategy(ctx, "allreduce", algorithm, len(vec),
+                                vec.dtype.itemsize)
+    return (yield from hybrid_allreduce(ctx, vec, op, strategy))
+
+
+def collect(env, myblock: np.ndarray, *,
+            sizes: Optional[Sequence[int]] = None,
+            group: Optional[Sequence[int]] = None,
+            algorithm: AlgorithmSpec = "auto",
+            tag: int = 0) -> Generator:
+    """Collect (allgather): every member contributes its block and
+    returns the full concatenation.  Block lengths must be known
+    (``sizes``; defaults to all equal to this rank's)."""
+    ctx = _context(env, group, tag)
+    me = ctx.require_member()
+    if sizes is None:
+        sizes = [len(myblock)] * ctx.size
+    n = int(sum(sizes))
+    strategy = resolve_strategy(ctx, "collect", algorithm, n,
+                                myblock.dtype.itemsize)
+    return (yield from hybrid_collect(ctx, myblock, strategy, sizes=sizes))
+
+
+def reduce_scatter(env, vec: np.ndarray, op="sum", *,
+                   sizes: Optional[Sequence[int]] = None,
+                   group: Optional[Sequence[int]] = None,
+                   algorithm: AlgorithmSpec = "auto",
+                   tag: int = 0) -> Generator:
+    """Distributed global combine: member ``i`` returns block ``i`` of
+    the element-wise combination."""
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    strategy = resolve_strategy(ctx, "reduce_scatter", algorithm, len(vec),
+                                vec.dtype.itemsize)
+    return (yield from hybrid_reduce_scatter(ctx, vec, op, strategy,
+                                             sizes=sizes))
+
+
+def scatter(env, buf: Optional[np.ndarray], root: int = 0, *,
+            total: Optional[int] = None,
+            sizes: Optional[Sequence[int]] = None,
+            group: Optional[Sequence[int]] = None,
+            tag: int = 0) -> Generator:
+    """Scatter: block ``i`` of the root's vector lands on member ``i``.
+
+    The MST scatter is simultaneously the short- and long-vector
+    algorithm (sections 4.1/4.2), so there is nothing to hybridize.
+    """
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    return (yield from mst_scatter(ctx, buf, root=root, sizes=sizes,
+                                   total=total))
+
+
+def gather(env, myblock: np.ndarray, root: int = 0, *,
+           sizes: Optional[Sequence[int]] = None,
+           group: Optional[Sequence[int]] = None,
+           tag: int = 0) -> Generator:
+    """Gather: the concatenation of all blocks lands on the root."""
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    return (yield from mst_gather(ctx, myblock, root=root, sizes=sizes))
+
+
+def barrier(env, *, group: Optional[Sequence[int]] = None,
+            tag: int = 0) -> Generator:
+    """Synchronize the group: no member leaves before every member has
+    arrived.  Implemented as a zero-byte combine-to-one + broadcast."""
+    ctx = _context(env, group, tag)
+    ctx.require_member()
+    token = np.empty(0, dtype=np.uint8)
+    token = yield from mst_reduce(ctx, token, op="sum", root=0)
+    if token is None:
+        token = np.empty(0, dtype=np.uint8)
+    yield from mst_bcast(ctx, token, root=0)
+    return None

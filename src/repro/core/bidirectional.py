@@ -1,0 +1,180 @@
+"""Alternating-direction (bidirectional) bucket primitives.
+
+Section 7.1: "On meshes, the use of long vector primitives can be
+enhanced by alternating directions within the mesh [3]" — reference [3]
+being Barnett, Littlefield, Payne & van de Geijn, *Global Combine on
+Mesh Architectures with Wormhole Routing* (IPPS'93).
+
+Every physical link has a channel in each direction, and the
+unidirectional bucket algorithms leave half of them idle.  Running one
+bucket pass clockwise and one counter-clockwise *simultaneously* uses
+both channel sets, and each pass only has to cover half the ring:
+
+=====================  ===============================================
+unidirectional         ``(p-1) (alpha + (n/p) beta)``
+bidirectional          ``ceil((p-1)/2) (alpha + 2 (n/p) beta_port)``
+=====================  ===============================================
+
+Under this machine model the injection/ejection *ports* are the
+bandwidth bottleneck (each node still moves the same ``~n`` bytes in
+and out), so the bidirectional variants win on **latency**: the alpha
+term halves, the beta term is unchanged.  On a channel-limited machine
+(port bandwidth above channel bandwidth) the beta term would halve as
+well — that regime can be explored by lowering ``link_capacity`` below
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from .context import CollContext
+from .ops import get_op
+from .partition import partition_offsets, partition_sizes
+
+
+def _arcs(p: int) -> tuple:
+    """Hops covered clockwise / counter-clockwise: F + B = p - 1."""
+    fwd = (p - 1 + 1) // 2
+    return fwd, (p - 1) - fwd
+
+
+def bidirectional_collect(ctx: CollContext, myblock: np.ndarray,
+                          sizes: Optional[Sequence[int]] = None
+                          ) -> Generator:
+    """Bucket collect running both ring directions at once.
+
+    Rank ``i``'s block travels clockwise to the ``ceil((p-1)/2)`` ranks
+    ahead of it and counter-clockwise to the remaining ranks, so every
+    rank assembles the full vector in ``ceil((p-1)/2)`` rounds instead
+    of ``p-1``.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    if len(myblock) != sizes[me]:
+        raise ValueError(
+            f"rank {me}: block has {len(myblock)} elements, partition "
+            f"says {sizes[me]}")
+    if p == 1:
+        return myblock
+    yield ctx.overhead()
+
+    right = (me + 1) % p
+    left = (me - 1) % p
+    fwd_rounds, bwd_rounds = _arcs(p)
+
+    blocks: List[Optional[np.ndarray]] = [None] * p
+    blocks[me] = myblock
+    fwd_block = me        # most recent block to forward clockwise
+    bwd_block = me        # most recent block to forward counter-clockwise
+    for r in range(max(fwd_rounds, bwd_rounds)):
+        reqs = []
+        recv_fwd = recv_bwd = None
+        if r < fwd_rounds:
+            reqs.append(ctx.isend(right, blocks[fwd_block]))
+            recv_fwd = ctx.irecv(left)
+            reqs.append(recv_fwd)
+        if r < bwd_rounds:
+            reqs.append(ctx.isend(left, blocks[bwd_block]))
+            recv_bwd = ctx.irecv(right)
+            reqs.append(recv_bwd)
+        yield ctx.waitall(*reqs)
+        if recv_fwd is not None:
+            fwd_block = (fwd_block - 1) % p
+            blocks[fwd_block] = recv_fwd.data
+        if recv_bwd is not None:
+            bwd_block = (bwd_block + 1) % p
+            blocks[bwd_block] = recv_bwd.data
+    return np.concatenate(blocks)
+
+
+def bidirectional_reduce_scatter(ctx: CollContext, vec: np.ndarray,
+                                 op=None,
+                                 sizes: Optional[Sequence[int]] = None
+                                 ) -> Generator:
+    """Bucket distributed combine running both directions at once.
+
+    For destination rank ``b``, contributions from the ``F`` ranks
+    behind it (``b-F .. b-1``) accumulate along the clockwise arc and
+    contributions from the ``B = p-1-F`` ranks ahead (``b+1 .. b+B``)
+    along the counter-clockwise arc; ``b`` folds in its own block while
+    the clockwise bucket arrives and finally combines the two partial
+    buckets.  Rounds: ``max(F, B) = ceil((p-1)/2)``.
+    """
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = partition_sizes(len(vec), p)
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    offs = partition_offsets(sizes)
+    if len(vec) != offs[-1]:
+        raise ValueError(
+            f"vector has {len(vec)} elements, partition covers {offs[-1]}")
+    if p == 1:
+        return vec.copy()
+    yield ctx.overhead()
+
+    def blk(b: int) -> np.ndarray:
+        return vec[offs[b]:offs[b + 1]]
+
+    right = (me + 1) % p
+    left = (me - 1) % p
+    F, B = _arcs(p)
+
+    # Clockwise: at round r this rank sends the bucket destined for
+    # block (me + F - r) mod p; it receives the bucket for block
+    # (me + F - r - 1) mod p and folds in its own contribution (every
+    # rank on the arc contributes, including the destination itself on
+    # arrival).
+    out_fwd = blk((me + F) % p)
+    # Counter-clockwise: at round r this rank sends the bucket for
+    # block (me - B + r) mod p; on receipt of the bucket for block
+    # (me - B + r + 1) mod p it folds in its own contribution *unless*
+    # the bucket has reached its destination (me == b), which avoids
+    # double-counting: the destination's own block already enters via
+    # the clockwise arc.
+    out_bwd = blk((me - B) % p) if B else None
+
+    fwd_final = None
+    bwd_final = None
+    for r in range(max(F, B)):
+        reqs = []
+        recv_fwd = recv_bwd = None
+        if r < F:
+            reqs.append(ctx.isend(right, out_fwd))
+            recv_fwd = ctx.irecv(left)
+            reqs.append(recv_fwd)
+        if r < B:
+            reqs.append(ctx.isend(left, out_bwd))
+            recv_bwd = ctx.irecv(right)
+            reqs.append(recv_bwd)
+        yield ctx.waitall(*reqs)
+        if recv_fwd is not None:
+            b = (me + F - r - 1) % p
+            yield ctx.compute(len(recv_fwd.data))
+            folded = op(recv_fwd.data, blk(b))
+            if b == me:
+                fwd_final = folded
+            else:
+                out_fwd = folded
+        if recv_bwd is not None:
+            b = (me - B + r + 1) % p
+            if b == me:
+                bwd_final = recv_bwd.data
+            else:
+                yield ctx.compute(len(recv_bwd.data))
+                out_bwd = op(recv_bwd.data, blk(b))
+
+    assert fwd_final is not None
+    if bwd_final is None:
+        return fwd_final
+    yield ctx.compute(len(fwd_final))
+    return op(fwd_final, bwd_final)

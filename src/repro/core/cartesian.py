@@ -1,0 +1,161 @@
+"""Cartesian process grids over a communicator.
+
+The MPI-like convenience the paper's group layer makes possible
+(section 9): view a communicator's ranks as an ``R x C`` grid, derive
+row/column subcommunicators, find neighbours, and do the halo
+``sendrecv`` exchanges stencil codes need.  The grid is purely logical;
+when its rows/columns land on physical mesh rows/columns the group
+machinery detects that and the collectives get mesh-aware strategies
+for free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from .communicator import Communicator
+
+
+class CartGrid:
+    """A 2-D Cartesian view of a communicator's ranks (row-major).
+
+    Parameters
+    ----------
+    comm:
+        The underlying communicator; its size must equal ``rows*cols``.
+    rows, cols:
+        Grid shape.
+    periodic:
+        (wrap_rows, wrap_cols) — whether :meth:`shift` wraps around.
+    """
+
+    def __init__(self, comm: Communicator, rows: int, cols: int,
+                 periodic: Tuple[bool, bool] = (False, False)):
+        if rows * cols != comm.size:
+            raise ValueError(
+                f"grid {rows}x{cols} needs {rows * cols} ranks, "
+                f"communicator has {comm.size}")
+        self.comm = comm
+        self.rows = rows
+        self.cols = cols
+        self.periodic = periodic
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rank(self) -> Optional[int]:
+        return self.comm.rank
+
+    def coords(self, rank: Optional[int] = None) -> Tuple[int, int]:
+        """(row, col) of a rank (defaults to this rank)."""
+        r = self.comm.rank if rank is None else rank
+        if r is None:
+            raise RuntimeError("not a member of this grid")
+        return divmod(r, self.cols)
+
+    def rank_at(self, row: int, col: int) -> Optional[int]:
+        """Rank at grid coordinates, honouring periodicity; None if the
+        coordinate falls off a non-periodic edge."""
+        if self.periodic[0]:
+            row %= self.rows
+        if self.periodic[1]:
+            col %= self.cols
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            return None
+        return row * self.cols + col
+
+    def shift(self, dim: int, disp: int) -> Tuple[Optional[int],
+                                                  Optional[int]]:
+        """(source, destination) ranks for a shift along ``dim`` by
+        ``disp`` — the MPI_Cart_shift contract."""
+        r, c = self.coords()
+        if dim == 0:
+            src = self.rank_at(r - disp, c)
+            dst = self.rank_at(r + disp, c)
+        elif dim == 1:
+            src = self.rank_at(r, c - disp)
+            dst = self.rank_at(r, c + disp)
+        else:
+            raise ValueError("dim must be 0 (rows) or 1 (cols)")
+        return src, dst
+
+    # ------------------------------------------------------------------
+    # subcommunicators
+    # ------------------------------------------------------------------
+
+    def row_comm(self) -> Communicator:
+        """Communicator over this rank's grid row."""
+        r, _ = self.coords()
+        comms = [self.comm.incl([rr * self.cols + c
+                                 for c in range(self.cols)])
+                 for rr in range(self.rows)]
+        return comms[r]
+
+    def col_comm(self) -> Communicator:
+        """Communicator over this rank's grid column."""
+        _, c = self.coords()
+        comms = [self.comm.incl([r * self.cols + cc
+                                 for r in range(self.rows)])
+                 for cc in range(self.cols)]
+        return comms[c]
+
+    # ------------------------------------------------------------------
+    # halo exchange
+    # ------------------------------------------------------------------
+
+    def sendrecv(self, dest: Optional[int], sendbuf: Optional[np.ndarray],
+                 source: Optional[int], tag: int = 0) -> Generator:
+        """Simultaneous send to ``dest`` and receive from ``source``
+        (grid ranks; None suppresses that side).  Yields; returns the
+        received array or None."""
+        env = self.comm.env
+        ctx = self.comm.ctx
+        reqs = []
+        rreq = None
+        if dest is not None and sendbuf is not None:
+            reqs.append(env.isend(ctx.phys(dest), sendbuf,
+                                  tag=ctx.tag + tag))
+        if source is not None:
+            rreq = env.irecv(ctx.phys(source), tag=ctx.tag + tag)
+            reqs.append(rreq)
+        if reqs:
+            yield env.waitall(*reqs)
+        return rreq.data if rreq is not None else None
+
+    def halo_exchange(self, dim: int,
+                      low_buf: Optional[np.ndarray],
+                      high_buf: Optional[np.ndarray],
+                      tag: int = 0) -> Generator:
+        """Exchange boundary slabs with both neighbours along ``dim``.
+
+        Sends ``low_buf`` to the low neighbour and ``high_buf`` to the
+        high neighbour; returns (from_low, from_high), either None at a
+        non-periodic edge.  All four transfers run concurrently.
+        """
+        env = self.comm.env
+        ctx = self.comm.ctx
+        low, high = self.shift(dim, 1)
+        reqs = []
+        r_low = r_high = None
+        if low is not None:
+            if low_buf is not None:
+                reqs.append(env.isend(ctx.phys(low), low_buf,
+                                      tag=ctx.tag + tag))
+            r_low = env.irecv(ctx.phys(low), tag=ctx.tag + tag + 1)
+            reqs.append(r_low)
+        if high is not None:
+            if high_buf is not None:
+                reqs.append(env.isend(ctx.phys(high), high_buf,
+                                      tag=ctx.tag + tag + 1))
+            r_high = env.irecv(ctx.phys(high), tag=ctx.tag + tag)
+            reqs.append(r_high)
+        if reqs:
+            yield env.waitall(*reqs)
+        return (r_low.data if r_low is not None else None,
+                r_high.data if r_high is not None else None)
+
+    def __repr__(self) -> str:
+        return (f"CartGrid({self.rows}x{self.cols}, rank={self.rank}, "
+                f"periodic={self.periodic})")

@@ -1,0 +1,125 @@
+"""Composed collective algorithms (section 5 of the paper).
+
+The four short-vector primitives and four long-vector primitives generate
+short- and long-vector implementations of *all seven* target operations
+(Table 1):
+
+Short vector (section 5.1):
+
+* collect                  = gather, then MST broadcast
+* distributed combine      = combine-to-one, then scatter
+* global combine-to-all    = combine-to-one, then MST broadcast
+
+Long vector (section 5.2):
+
+* broadcast                = scatter, then bucket collect
+* combine-to-one           = bucket distributed combine, then gather
+* global combine-to-all    = bucket distributed combine, then bucket collect
+
+(The scatter and gather primitives are themselves both the short- and
+long-vector implementations of scatter and gather.)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from .context import CollContext
+from .ops import get_op
+from .partition import partition_sizes
+from .primitives_long import bucket_collect, bucket_reduce_scatter
+from .primitives_short import mst_bcast, mst_gather, mst_reduce, mst_scatter
+
+
+# ----------------------------------------------------------------------
+# Short-vector compositions (5.1)
+# ----------------------------------------------------------------------
+
+def short_collect(ctx: CollContext, myblock: np.ndarray,
+                  sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Collect (allgather) for short vectors: gather + MST broadcast.
+
+    Cost: ``2 ceil(log2 p) alpha + 2 ((p-1)/p + ...) n beta`` — the paper
+    quotes ``2 L alpha + 2 n beta`` to leading order.
+    """
+    me = ctx.require_member()
+    if sizes is None:
+        sizes = [len(myblock)] * ctx.size
+    full = yield from mst_gather(ctx, myblock, root=0, sizes=sizes)
+    full = yield from mst_bcast(ctx, full, root=0)
+    return full
+
+
+def short_reduce_scatter(ctx: CollContext, vec: np.ndarray, op=None,
+                         sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Distributed global combine for short vectors: combine-to-one +
+    scatter.  Rank ``i`` returns combined block ``i``."""
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    if sizes is None:
+        sizes = partition_sizes(len(vec), ctx.size)
+    total = yield from mst_reduce(ctx, vec, op=op, root=0)
+    mine = yield from mst_scatter(ctx, total, root=0, sizes=sizes)
+    return mine
+
+
+def short_allreduce(ctx: CollContext, vec: np.ndarray, op=None) -> Generator:
+    """Global combine-to-all for short vectors: combine-to-one + MST
+    broadcast.  Cost ``2 L alpha + 2 L n beta + L n gamma``."""
+    op = get_op(op if op is not None else "sum")
+    ctx.require_member()
+    total = yield from mst_reduce(ctx, vec, op=op, root=0)
+    total = yield from mst_bcast(ctx, total, root=0)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Long-vector compositions (5.2)
+# ----------------------------------------------------------------------
+
+def long_bcast(ctx: CollContext, buf: Optional[np.ndarray], root: int = 0,
+               total: Optional[int] = None) -> Generator:
+    """Broadcast for long vectors: scatter + bucket collect.
+
+    Cost ``(ceil(log2 p) + p - 1) alpha + 2 ((p-1)/p) n beta`` —
+    asymptotically within a factor two of optimal in the beta term.
+    ``total`` (the vector length) must be known at every rank.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    if total is None:
+        if me == root:
+            total = len(buf)
+        else:
+            raise ValueError("long_bcast needs total= at non-root ranks")
+    sizes = partition_sizes(total, p)
+    mine = yield from mst_scatter(ctx, buf, root=root, sizes=sizes)
+    full = yield from bucket_collect(ctx, mine, sizes=sizes)
+    return full
+
+
+def long_reduce(ctx: CollContext, vec: np.ndarray, op=None, root: int = 0
+                ) -> Generator:
+    """Combine-to-one for long vectors: bucket distributed combine +
+    gather.  Cost ``2 (p-1) alpha + 2 ((p-1)/p) n beta + ((p-1)/p) n
+    gamma``."""
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    sizes = partition_sizes(len(vec), ctx.size)
+    mine = yield from bucket_reduce_scatter(ctx, vec, op=op, sizes=sizes)
+    full = yield from mst_gather(ctx, mine, root=root, sizes=sizes)
+    return full
+
+
+def long_allreduce(ctx: CollContext, vec: np.ndarray, op=None) -> Generator:
+    """Global combine-to-all for long vectors: bucket distributed combine
+    + bucket collect.  The beta term, ``2 ((p-1)/p) n beta``, is
+    asymptotically optimal (section 5.2)."""
+    op = get_op(op if op is not None else "sum")
+    ctx.require_member()
+    sizes = partition_sizes(len(vec), ctx.size)
+    mine = yield from bucket_reduce_scatter(ctx, vec, op=op, sizes=sizes)
+    full = yield from bucket_collect(ctx, mine, sizes=sizes)
+    return full

@@ -1,0 +1,139 @@
+"""The collective context: a group-local view of the machine.
+
+Section 9 of the paper describes the group mechanism that the library is
+built on: "the ring collect routine would treat those processors as a
+group of contiguous nodes numbered 0 to r-1, using the group array to
+provide the logical-to-physical mapping."
+
+:class:`CollContext` is exactly that group array plus a rank's-eye view
+of it.  Every collective algorithm in :mod:`repro.core` is written
+against logical ranks ``0 .. size-1``; the context translates them to
+physical node ids when posting sends and receives.  Hybrid algorithms
+recurse by deriving *subgroup* contexts (rows, columns, strided lines of
+a logical mesh) from a parent context.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from ..sim.engine import CommHandle, RankEnv
+
+
+class CollContext:
+    """A rank's view of a collective operating over a node group.
+
+    Parameters
+    ----------
+    env:
+        The rank's :class:`~repro.sim.engine.RankEnv`.
+    group:
+        Physical node ids, logical order.  ``None`` means all nodes in
+        rank order (the whole-machine group).
+    tag:
+        Message tag for this collective context.  Concurrent collectives
+        on overlapping groups must use distinct tags; sequential stages
+        within one collective may share a tag (matching is FIFO per
+        (source, tag) pair).
+    """
+
+    __slots__ = ("env", "group", "tag", "rank", "_phys2log")
+
+    def __init__(self, env: RankEnv, group: Optional[Sequence[int]] = None,
+                 tag: int = 0):
+        self.env = env
+        if group is None:
+            group = range(env.nranks)
+        self.group: Tuple[int, ...] = tuple(group)
+        if len(set(self.group)) != len(self.group):
+            raise ValueError("group contains duplicate node ids")
+        if not self.group:
+            raise ValueError("group must contain at least one node")
+        self.tag = tag
+        self._phys2log = {p: l for l, p in enumerate(self.group)}
+        self.rank: Optional[int] = self._phys2log.get(env.rank)
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of group members."""
+        return len(self.group)
+
+    @property
+    def is_member(self) -> bool:
+        return self.rank is not None
+
+    def phys(self, lrank: int) -> int:
+        """Physical node id of a logical rank."""
+        return self.group[lrank]
+
+    def logical(self, node: int) -> Optional[int]:
+        """Logical rank of a physical node id, or None if not a member."""
+        return self._phys2log.get(node)
+
+    def require_member(self) -> int:
+        """The calling rank's logical rank; raises for non-members."""
+        if self.rank is None:
+            raise RuntimeError(
+                f"node {self.env.rank} is not a member of this group")
+        return self.rank
+
+    # ------------------------------------------------------------------
+    # communication in logical coordinates
+    # ------------------------------------------------------------------
+
+    def isend(self, ldst: int, data: Any,
+              nbytes: Optional[float] = None) -> CommHandle:
+        return self.env.isend(self.group[ldst], data, tag=self.tag,
+                              nbytes=nbytes)
+
+    def irecv(self, lsrc: int) -> CommHandle:
+        return self.env.irecv(self.group[lsrc], tag=self.tag)
+
+    def send(self, ldst: int, data: Any, nbytes: Optional[float] = None):
+        return self.env.send(self.group[ldst], data, tag=self.tag,
+                             nbytes=nbytes)
+
+    def recv(self, lsrc: int):
+        return self.env.recv(self.group[lsrc], tag=self.tag)
+
+    def waitall(self, *handles: CommHandle):
+        return self.env.waitall(*handles)
+
+    def compute(self, nelems: float):
+        return self.env.compute(nelems)
+
+    def overhead(self, count: float = 1.0):
+        return self.env.overhead(count)
+
+    def mark(self, label: str):
+        return self.env.mark(label)
+
+    # ------------------------------------------------------------------
+    # subgroups (hybrid stages, mesh rows/columns)
+    # ------------------------------------------------------------------
+
+    def subgroup(self, lranks: Sequence[int], tag: Optional[int] = None
+                 ) -> "CollContext":
+        """Context over a subset of this group, in the given logical order."""
+        return CollContext(self.env,
+                           [self.group[l] for l in lranks],
+                           tag=self.tag if tag is None else tag)
+
+    def strided_line(self, start: int, stride: int, count: int
+                     ) -> "CollContext":
+        """Subgroup ``start, start+stride, ...`` of ``count`` members.
+
+        This is how a linear group is viewed as a logical mesh (section
+        6): dimension ``i`` lines have stride ``d_1 * ... * d_{i-1}``.
+        """
+        return self.subgroup([start + stride * k for k in range(count)])
+
+    def __repr__(self) -> str:
+        g = list(self.group)
+        shown = g if len(g) <= 8 else g[:8] + ["..."]
+        return (f"CollContext(rank={self.rank}, size={self.size}, "
+                f"tag={self.tag}, group={shown})")

@@ -1,0 +1,324 @@
+"""Closed-form cost model for every primitive and hybrid (sections 4-6).
+
+The paper's expressions, with ``L(d) = ceil(log2 d)``, ``n`` the vector
+length in *elements* (``b = n * itemsize`` bytes on the wire):
+
+=================================  =====================================
+MST broadcast                       ``L(p) (alpha + b beta)``
+MST combine-to-one                  ``L(p) (alpha + b beta + n gamma)``
+MST scatter / gather                ``L(p) alpha + ((p-1)/p) b beta``
+bucket collect                      ``(p-1) alpha + ((p-1)/p) b beta``
+bucket distributed combine          ``(p-1) alpha + ((p-1)/p)(b beta + n gamma)``
+=================================  =====================================
+
+Hybrids (section 6): a stage operating in a dimension of size ``d`` whose
+lines are *interleaved* with ``s`` other lines on the same physical
+channels pays a **conflict factor** on its beta term ("the bold-face
+indicates factors included to compensate for network conflicts").  On a
+linear array, dimension ``i``'s lines have stride ``s_i = d_1 ... d_{i-1}``
+and exactly ``s_i`` lines interleave, so the factor is ``s_i`` — this
+model reproduces eight of the nine rows of Table 2 exactly (the ninth is
+inconsistent with the paper's own general formula; see EXPERIMENTS.md).
+With the Paragon's excess link bandwidth (section 7.1), ``c`` messages
+share a channel penalty-free, so the factor becomes ``max(1, s_i / c)``.
+On a physical mesh, dimension lines aligned with physical rows/columns
+do not interleave at all and the factor is computed from the stride
+*within* the physical line.
+
+Software overhead: the recursive short-vector primitives charge
+``sw_overhead`` per recursion level (section 7.2); bucket primitives
+charge it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.params import MachineParams
+from .strategy import Strategy
+
+
+def ceil_log2(d: int) -> int:
+    """Number of recursive-halving steps for a group of ``d``."""
+    if d < 1:
+        raise ValueError("group size must be positive")
+    return (d - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytic predictor of collective times on one machine.
+
+    Parameters
+    ----------
+    params:
+        The machine's alpha/beta/gamma/overhead constants.
+    itemsize:
+        Bytes per vector element (8 for float64 payloads).
+    model_conflicts:
+        When False, all conflict factors are 1 — the idealized model the
+        paper uses for the conflict-free building blocks.
+    """
+
+    params: MachineParams
+    itemsize: int = 8
+    model_conflicts: bool = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def _beta(self, n: float, factor: float = 1.0) -> float:
+        f = factor if self.model_conflicts else 1.0
+        return n * self.itemsize * self.params.beta * max(1.0, f)
+
+    def conflict_factor(self, interleaved: float) -> float:
+        """Effective beta multiplier when ``interleaved`` lines share
+        channels, given the machine's excess link capacity."""
+        if not self.model_conflicts:
+            return 1.0
+        return max(1.0, interleaved / self.params.link_capacity)
+
+    # -- primitives (section 4) --------------------------------------------
+
+    def mst_bcast(self, p: int, n: float, conflict: float = 1.0) -> float:
+        L = ceil_log2(p)
+        return L * (self.params.alpha + self._beta(n, conflict)
+                    + self.params.sw_overhead)
+
+    def mst_reduce(self, p: int, n: float, conflict: float = 1.0) -> float:
+        L = ceil_log2(p)
+        return L * (self.params.alpha + self._beta(n, conflict)
+                    + n * self.params.gamma + self.params.sw_overhead)
+
+    def mst_scatter(self, p: int, n: float, conflict: float = 1.0) -> float:
+        L = ceil_log2(p)
+        frac = (p - 1) / p if p else 0.0
+        return (L * (self.params.alpha + self.params.sw_overhead)
+                + self._beta(n * frac, conflict))
+
+    def mst_gather(self, p: int, n: float, conflict: float = 1.0) -> float:
+        return self.mst_scatter(p, n, conflict)
+
+    def bucket_collect(self, p: int, n: float, conflict: float = 1.0
+                       ) -> float:
+        if p <= 1:
+            return 0.0
+        frac = (p - 1) / p
+        return ((p - 1) * self.params.alpha + self._beta(n * frac, conflict)
+                + self.params.sw_overhead)
+
+    def bucket_reduce_scatter(self, p: int, n: float, conflict: float = 1.0
+                              ) -> float:
+        if p <= 1:
+            return 0.0
+        frac = (p - 1) / p
+        return ((p - 1) * self.params.alpha
+                + self._beta(n * frac, conflict)
+                + n * frac * self.params.gamma
+                + self.params.sw_overhead)
+
+    def bidirectional_collect(self, p: int, n: float,
+                              conflict: float = 1.0) -> float:
+        """Alternating-direction bucket collect (section 7.1): half the
+        startup rounds, same port-limited beta."""
+        if p <= 1:
+            return 0.0
+        rounds = (p - 1 + 1) // 2
+        frac = (p - 1) / p
+        return (rounds * self.params.alpha + self._beta(n * frac, conflict)
+                + self.params.sw_overhead)
+
+    def bidirectional_reduce_scatter(self, p: int, n: float,
+                                     conflict: float = 1.0) -> float:
+        """Alternating-direction bucket distributed combine."""
+        if p <= 1:
+            return 0.0
+        rounds = (p - 1 + 1) // 2
+        frac = (p - 1) / p
+        return (rounds * self.params.alpha + self._beta(n * frac, conflict)
+                + n * frac * self.params.gamma + self.params.sw_overhead)
+
+    # -- composed (section 5) -----------------------------------------------
+
+    def short_collect(self, p: int, n: float) -> float:
+        return self.mst_gather(p, n) + self.mst_bcast(p, n)
+
+    def short_reduce_scatter(self, p: int, n: float) -> float:
+        return self.mst_reduce(p, n) + self.mst_scatter(p, n)
+
+    def short_allreduce(self, p: int, n: float) -> float:
+        return self.mst_reduce(p, n) + self.mst_bcast(p, n)
+
+    def long_bcast(self, p: int, n: float) -> float:
+        return self.mst_scatter(p, n) + self.bucket_collect(p, n)
+
+    def long_reduce(self, p: int, n: float) -> float:
+        return self.bucket_reduce_scatter(p, n) + self.mst_gather(p, n)
+
+    def long_allreduce(self, p: int, n: float) -> float:
+        return self.bucket_reduce_scatter(p, n) + self.bucket_collect(p, n)
+
+    # -- hybrids (section 6) ---------------------------------------------------
+
+    def default_conflicts(self, strategy: Strategy) -> List[float]:
+        """Per-dimension conflict factors for a *linear array* group:
+        dimension ``i`` interleaves ``stride_i`` lines."""
+        return [self.conflict_factor(strategy.stride(i))
+                for i in range(len(strategy.dims))]
+
+    def hybrid_bcast(self, strategy: Strategy, n: float,
+                     conflicts: Optional[Sequence[float]] = None) -> float:
+        """Cost of the S...S[M]C...C broadcast hybrid.
+
+        This is the general formula of section 6, the one Table 2
+        instantiates for p = 30.
+        """
+        strategy.check_smc()
+        if conflicts is None:
+            conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        a = strategy.nscatter
+        t = 0.0
+        m = float(n)
+        for i in range(a):
+            t += self.mst_scatter(dims[i], m, conflicts[i])
+            m /= dims[i]
+        if strategy.has_kernel:
+            t += self.mst_bcast(dims[a], m, conflicts[a])
+        for i in reversed(range(a)):
+            m *= dims[i]
+            t += self.bucket_collect(dims[i], m, conflicts[i])
+        return t
+
+    def hybrid_reduce(self, strategy: Strategy, n: float,
+                      conflicts: Optional[Sequence[float]] = None) -> float:
+        """Combine-to-one hybrid: bucket reduce-scatters in, MST combine
+        kernel, gathers out."""
+        strategy.check_smc()
+        if conflicts is None:
+            conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        a = strategy.nscatter
+        t = 0.0
+        m = float(n)
+        for i in range(a):
+            t += self.bucket_reduce_scatter(dims[i], m, conflicts[i])
+            m /= dims[i]
+        if strategy.has_kernel:
+            t += self.mst_reduce(dims[a], m, conflicts[a])
+        for i in reversed(range(a)):
+            m *= dims[i]
+            t += self.mst_gather(dims[i], m, conflicts[i])
+        return t
+
+    def hybrid_allreduce(self, strategy: Strategy, n: float,
+                         conflicts: Optional[Sequence[float]] = None
+                         ) -> float:
+        """Combine-to-all hybrid: reduce-scatters in, allreduce kernel,
+        collects out."""
+        strategy.check_smc()
+        if conflicts is None:
+            conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        a = strategy.nscatter
+        t = 0.0
+        m = float(n)
+        for i in range(a):
+            t += self.bucket_reduce_scatter(dims[i], m, conflicts[i])
+            m /= dims[i]
+        if strategy.has_kernel:
+            t += (self.mst_reduce(dims[a], m, conflicts[a])
+                  + self.mst_bcast(dims[a], m, conflicts[a]))
+        for i in reversed(range(a)):
+            m *= dims[i]
+            t += self.bucket_collect(dims[i], m, conflicts[i])
+        return t
+
+    def hybrid_collect(self, strategy: Strategy, n: float,
+                       conflicts: Optional[Sequence[float]] = None) -> float:
+        """Collect hybrid: merge dimension 1 outward; optional short
+        kernel (gather + MST bcast) on the innermost stage."""
+        strategy.check_collect()
+        if conflicts is None:
+            conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        p = strategy.p
+        t = 0.0
+        m = float(n) / p  # holding one block
+        for i, d in enumerate(dims):
+            m *= d  # size after merging this dimension
+            if i == 0 and strategy.has_kernel:
+                t += (self.mst_gather(d, m, conflicts[i])
+                      + self.mst_bcast(d, m, conflicts[i]))
+            else:
+                t += self.bucket_collect(d, m, conflicts[i])
+        return t
+
+    def hybrid_reduce_scatter(self, strategy: Strategy, n: float,
+                              conflicts: Optional[Sequence[float]] = None
+                              ) -> float:
+        """Distributed-combine hybrid: split outermost dimension first;
+        optional short kernel on the innermost stage."""
+        strategy.check_reduce_scatter()
+        if conflicts is None:
+            conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        t = 0.0
+        m = float(n)
+        for i in reversed(range(len(dims))):
+            if i == 0 and strategy.has_kernel:
+                t += (self.mst_reduce(dims[i], m, conflicts[i])
+                      + self.mst_scatter(dims[i], m, conflicts[i]))
+            else:
+                t += self.bucket_reduce_scatter(dims[i], m, conflicts[i])
+            m /= dims[i]
+        return t
+
+    def hybrid(self, operation: str, strategy: Strategy, n: float,
+               conflicts: Optional[Sequence[float]] = None) -> float:
+        """Dispatch by operation name."""
+        fn = {
+            "bcast": self.hybrid_bcast,
+            "reduce": self.hybrid_reduce,
+            "allreduce": self.hybrid_allreduce,
+            "collect": self.hybrid_collect,
+            "reduce_scatter": self.hybrid_reduce_scatter,
+        }.get(operation)
+        if fn is None:
+            raise KeyError(f"no hybrid cost model for operation "
+                           f"{operation!r}")
+        return fn(strategy, n, conflicts)
+
+    # -- Table 2 presentation -------------------------------------------------
+
+    def hybrid_bcast_coefficients(self, strategy: Strategy
+                                  ) -> Tuple[float, float]:
+        """(alpha coefficient, beta coefficient in bytes) of the broadcast
+        hybrid — the two columns of Table 2.
+
+        For Table 2 the machine has no overhead and unit link capacity;
+        coefficients are computed symbolically: cost = A*alpha + B*n*beta
+        with n in bytes.
+        """
+        strategy.check_smc()
+        conflicts = self.default_conflicts(strategy)
+        dims = strategy.dims
+        a = strategy.nscatter
+        A = 0.0
+        B = 0.0
+        m = 1.0  # fraction of the full message
+        for i in range(a):
+            d = dims[i]
+            A += ceil_log2(d)
+            B += (d - 1) / d * m * max(1.0, conflicts[i])
+            m /= d
+        if strategy.has_kernel:
+            d = dims[a]
+            A += ceil_log2(d)
+            B += ceil_log2(d) * m * max(1.0, conflicts[a])
+        for i in reversed(range(a)):
+            d = dims[i]
+            m *= d
+            A += d - 1
+            B += (d - 1) / d * m * max(1.0, conflicts[i])
+        return A, B

@@ -1,0 +1,97 @@
+"""Mesh-aware conveniences (section 7: applying the techniques to the
+Paragon).
+
+On a physical ``R x C`` mesh the long-vector primitives should run
+within physical rows and columns: the two-phase bucket collect (rows,
+then columns) has latency ``(R + C - 2) alpha`` instead of the linear
+array's ``(p - 1) alpha``, and — because XY routing keeps row traffic in
+rows and column traffic in columns — no stage suffers interleaving
+conflicts.
+
+The generic hybrid executor already implements all of this when handed a
+mesh-aligned strategy (dims that factor the columns first, the rows
+second); this module packages the common cases.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.params import MachineParams
+from ..sim.topology import Mesh2D
+from .context import CollContext
+from .hybrid import hybrid_collect, hybrid_reduce_scatter
+from .selection import Choice, selector_for
+from .strategy import Strategy
+
+
+def row_group(mesh: Mesh2D, r: int) -> List[int]:
+    """Node ids of physical row ``r`` (a conflict-free line)."""
+    return mesh.row_nodes(r)
+
+
+def col_group(mesh: Mesh2D, c: int) -> List[int]:
+    """Node ids of physical column ``c`` (a conflict-free line)."""
+    return mesh.col_nodes(c)
+
+
+def submesh_group(mesh: Mesh2D, r0: int, c0: int, nr: int, nc: int
+                  ) -> List[int]:
+    """Row-major node ids of the ``nr x nc`` submesh anchored at
+    (r0, c0).  Groups built this way are detected as ``submesh`` by
+    :func:`repro.core.groups.classify` and get mesh-aware strategies."""
+    if r0 < 0 or c0 < 0 or r0 + nr > mesh.rows or c0 + nc > mesh.cols:
+        raise ValueError(
+            f"submesh {nr}x{nc}@({r0},{c0}) exceeds {mesh.rows}x{mesh.cols}")
+    return [mesh.node_at(r0 + i, c0 + j)
+            for i in range(nr) for j in range(nc)]
+
+
+def two_phase_strategy(operation: str, nr: int, nc: int) -> Strategy:
+    """The canonical mesh strategy: one stage along rows (contiguous,
+    size ``nc``), one along columns (stride ``nc``, size ``nr``).
+
+    For a collect this is the ``(R + C - 2) alpha`` two-phase bucket
+    collect of section 7.1.
+    """
+    dims = tuple(d for d in (nc, nr) if d > 1) or (1,)
+    k = len(dims)
+    if operation == "collect":
+        return Strategy(dims, "C" * k)
+    if operation == "reduce_scatter":
+        return Strategy(dims, "S" * k)
+    if operation in ("bcast", "reduce", "allreduce"):
+        return Strategy(dims, "S" * k + "C" * k)
+    raise KeyError(f"unknown operation {operation!r}")
+
+
+def best_mesh_choice(operation: str, nr: int, nc: int, n: int,
+                     params: MachineParams, itemsize: int = 8) -> Choice:
+    """Cheapest strategy for an ``nr x nc`` submesh group, considering
+    both mesh-aligned and linear-array candidates."""
+    sel = selector_for(params, itemsize=itemsize)
+    return sel.best(operation, nr * nc, n, mesh_shape=(nr, nc))
+
+
+def two_phase_collect(ctx: CollContext, myblock: np.ndarray,
+                      shape: Tuple[int, int],
+                      sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Bucket collect within rows, then within columns, of an
+    ``nr x nc`` submesh group (latency ``(nr + nc - 2) alpha``)."""
+    nr, nc = shape
+    return (yield from hybrid_collect(
+        ctx, myblock, two_phase_strategy("collect", nr, nc), sizes=sizes))
+
+
+def two_phase_reduce_scatter(ctx: CollContext, vec: np.ndarray, op,
+                             shape: Tuple[int, int],
+                             sizes: Optional[Sequence[int]] = None
+                             ) -> Generator:
+    """Bucket reduce-scatter within columns, then within rows, of an
+    ``nr x nc`` submesh group."""
+    nr, nc = shape
+    return (yield from hybrid_reduce_scatter(
+        ctx, vec, op, two_phase_strategy("reduce_scatter", nr, nc),
+        sizes=sizes))

@@ -1,0 +1,78 @@
+"""Combine operations for the reduction collectives.
+
+The paper (section 3) writes the combine as an associative and commutative
+operation ``(+)`` such as element-wise summation or element-wise product,
+and charges ``gamma`` per combined element (section 2).
+
+A :class:`CombineOp` pairs the element-wise function with that accounting,
+so algorithms charge ``ctx.compute(n)`` once per ``n`` combined elements
+regardless of which operation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CombineOp:
+    """An associative, commutative element-wise combine operation.
+
+    Attributes
+    ----------
+    name:
+        Short identifier ("sum", "prod", ...).
+    fn:
+        ``fn(a, b) -> c`` element-wise on equal-shaped arrays.  Must not
+        mutate its inputs (received buffers may alias remote memory in
+        the simulation).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.shape != b.shape:
+            raise ValueError(
+                f"combine {self.name!r}: shape mismatch {a.shape} vs {b.shape}")
+        return self.fn(a, b)
+
+    def reduce_all(self, arrays) -> np.ndarray:
+        """Sequential reference reduction (oracle for tests)."""
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError("need at least one array")
+        out = arrays[0].copy()
+        for a in arrays[1:]:
+            out = self.fn(out, a)
+        return out
+
+    def __repr__(self) -> str:
+        return f"CombineOp({self.name})"
+
+
+SUM = CombineOp("sum", np.add)
+PROD = CombineOp("prod", np.multiply)
+MIN = CombineOp("min", np.minimum)
+MAX = CombineOp("max", np.maximum)
+BAND = CombineOp("band", np.bitwise_and)
+BOR = CombineOp("bor", np.bitwise_or)
+BXOR = CombineOp("bxor", np.bitwise_xor)
+
+STANDARD_OPS = {op.name: op for op in (SUM, PROD, MIN, MAX, BAND, BOR, BXOR)}
+
+
+def get_op(op) -> CombineOp:
+    """Coerce a name or CombineOp into a CombineOp."""
+    if isinstance(op, CombineOp):
+        return op
+    if isinstance(op, str):
+        try:
+            return STANDARD_OPS[op]
+        except KeyError:
+            raise KeyError(f"unknown combine op {op!r}; "
+                           f"available: {sorted(STANDARD_OPS)}") from None
+    raise TypeError(f"expected CombineOp or name, got {type(op).__name__}")

@@ -1,0 +1,109 @@
+"""Long-vector primitives: bucket collect and bucket distributed combine.
+
+Section 4.2 of the paper.  Both view the (logical) linear array as a ring
+— legitimate under wormhole routing because the single wrap-around
+message travels on the reverse-direction channels and therefore conflicts
+with nothing.  "Buckets are passed between the nodes that move the
+subvectors to be collected, leaving the result on all nodes."
+
+Costs (balanced partition, ``p`` ranks, ``n`` total elements):
+
+=========================  ==========================================
+bucket collect             ``(p-1) alpha + ((p-1)/p) n beta``
+bucket distributed combine ``(p-1) alpha + ((p-1)/p) (n beta + n gamma)``
+=========================  ==========================================
+
+Every step sends and receives simultaneously (the machine model allows
+one send plus one receive per node), which is why these are implemented
+with isend/irecv pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from .context import CollContext
+from .ops import get_op
+from .partition import partition_offsets, partition_sizes
+
+
+def bucket_collect(ctx: CollContext, myblock: np.ndarray,
+                   sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Ring allgather: every rank contributes its block, every rank
+    returns the full concatenated vector (logical-rank order).
+
+    ``sizes`` (block length per logical rank) must be known everywhere;
+    defaults to all blocks matching this rank's length.
+    """
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    if len(myblock) != sizes[me]:
+        raise ValueError(
+            f"rank {me}: block has {len(myblock)} elements, partition "
+            f"says {sizes[me]}")
+    if p == 1:
+        return myblock
+
+    yield ctx.overhead()
+    right = (me + 1) % p
+    left = (me - 1) % p
+    blocks: List[Optional[np.ndarray]] = [None] * p
+    blocks[me] = myblock
+    cur = me  # index of the block this rank sends next
+    for _ in range(p - 1):
+        sreq = ctx.isend(right, blocks[cur])
+        rreq = ctx.irecv(left)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        cur = (cur - 1) % p
+        blocks[cur] = incoming
+    return np.concatenate(blocks)
+
+
+def bucket_reduce_scatter(ctx: CollContext, vec: np.ndarray, op=None,
+                          sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Ring reduce-scatter ("bucket distributed global combine"): every
+    rank contributes a full ``vec``; rank ``i`` returns block ``i`` of
+    the element-wise combination.
+
+    "Similar to the bucket collect, executed in reverse, where the
+    buckets are used to accumulate contributions" (section 4.2).
+    """
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    p = ctx.size
+    if sizes is None:
+        sizes = partition_sizes(len(vec), p)
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    offs = partition_offsets(sizes)
+    if len(vec) != offs[-1]:
+        raise ValueError(
+            f"vector has {len(vec)} elements, partition covers {offs[-1]}")
+    if p == 1:
+        return vec.copy()
+
+    yield ctx.overhead()
+    right = (me + 1) % p
+    left = (me - 1) % p
+
+    def blk(b: int) -> np.ndarray:
+        return vec[offs[b]:offs[b + 1]]
+
+    # Block b travels the ring accumulating contributions and finishes,
+    # fully combined, at rank b: at step s, rank i sends block
+    # (i - s - 1) mod p and receives block (i - s - 2) mod p.
+    outgoing = blk((me - 1) % p)
+    for s in range(p - 1):
+        sreq = ctx.isend(right, outgoing)
+        rreq = ctx.irecv(left)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        b = (me - s - 2) % p
+        yield ctx.compute(len(incoming))
+        outgoing = op(incoming, blk(b))
+    return outgoing

@@ -1,0 +1,225 @@
+"""Heuristic hybrid-strategy selection (section 6, "effective heuristics
+rather than theoretically optimal methods").
+
+Given an operation, a group size (and, when known, the group's physical
+structure), and a message length, the :class:`Selector` enumerates
+candidate strategies, prices each with the
+:class:`~repro.core.costmodel.CostModel`, and picks the cheapest.
+
+Two conflict regimes are supported:
+
+* **linear array** — dimension ``i`` interleaves ``stride_i`` logical
+  lines on the same channels (the Table 2 model);
+* **mesh-aligned submesh** — the group is an ``R x C`` physical submesh
+  enumerated row-major, and the candidate dims factor ``C`` first and
+  ``R`` second, so each dimension's lines live inside a physical row or
+  column.  The interleave count is then the stride *within* that
+  physical line, which is what makes the bucket latency drop from
+  ``(p-1) alpha`` to ``(R + C - 2) alpha`` (section 7.1).
+
+The choice heuristics the paper argues for fall out of the cost model
+automatically: long-vector stages are placed early (they shrink the
+message before conflict-prone stages), and localized (small-stride)
+dimensions are used first while vectors are long.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.params import MachineParams
+from .costmodel import CostModel
+from .strategy import (Strategy, collect_candidates,
+                       reduce_scatter_candidates, smc_candidates)
+
+OPERATIONS = ("bcast", "reduce", "allreduce", "collect", "reduce_scatter")
+
+
+def linear_interleaves(dims: Sequence[int]) -> List[float]:
+    """Interleave counts for a linear-array group: dimension ``i``
+    shares its channels with ``stride_i`` lines."""
+    out = []
+    w = 1
+    for d in dims:
+        out.append(float(w))
+        w *= d
+    return out
+
+
+def mesh_interleaves(dims: Sequence[int], subrows: int, subcols: int
+                     ) -> Optional[List[float]]:
+    """Interleave counts when the group is an ``subrows x subcols``
+    physical submesh (row-major) and the dims factor columns first.
+
+    Returns None when the dims do not align with the mesh shape (the
+    caller should fall back to the linear model).
+    """
+    out = []
+    w = 1
+    for d in dims:
+        if w * d <= subcols and subcols % (w * d) == 0:
+            # lines tile physical rows evenly; `w` lines interleave
+            # within each row
+            out.append(float(w))
+        elif (w % subcols == 0 and (w // subcols) * d <= subrows
+              and subrows % ((w // subcols) * d) == 0):
+            # lines tile physical columns evenly
+            out.append(float(w // subcols))
+        else:
+            # lines would straddle row/column boundaries: misaligned
+            return None
+        w *= d
+    return out
+
+
+def mesh_candidate_dims(subrows: int, subcols: int, max_factors: int = 3
+                        ) -> List[Tuple[int, ...]]:
+    """Candidate logical-mesh shapes for an ``R x C`` submesh group:
+    factorizations whose leading dims multiply to C (within-row) and
+    trailing dims to R (within-column)."""
+    from .strategy import ordered_factorizations
+    cands: List[Tuple[int, ...]] = []
+    for cf in ordered_factorizations(subcols, max_factors - 1):
+        for rf in ordered_factorizations(subrows, max_factors - 1):
+            dims = tuple(d for d in cf if d > 1) + tuple(
+                d for d in rf if d > 1)
+            if not dims:
+                dims = (1,)
+            if len(dims) <= max_factors and math.prod(dims) == \
+                    subrows * subcols:
+                cands.append(dims)
+    return sorted(set(cands))
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One priced strategy."""
+    strategy: Strategy
+    cost: float
+    conflicts: Tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.strategy} cost={self.cost:.3g}"
+
+
+class Selector:
+    """Strategy chooser with memoization.
+
+    Parameters
+    ----------
+    params:
+        Machine constants used for pricing.
+    itemsize:
+        Payload element size in bytes.
+    max_factors:
+        Maximum number of logical-mesh dimensions to consider.
+    """
+
+    def __init__(self, params: MachineParams, itemsize: int = 8,
+                 max_factors: int = 3):
+        self.params = params
+        self.model = CostModel(params, itemsize=itemsize)
+        self.max_factors = max_factors
+        self._cache: Dict[Tuple, Choice] = {}
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, operation: str, p: int) -> List[Strategy]:
+        if operation in ("bcast", "reduce", "allreduce"):
+            return smc_candidates(p, self.max_factors)
+        if operation == "collect":
+            return collect_candidates(p, self.max_factors)
+        if operation == "reduce_scatter":
+            return reduce_scatter_candidates(p, self.max_factors)
+        raise KeyError(f"unknown operation {operation!r}; "
+                       f"known: {OPERATIONS}")
+
+    def _mesh_candidates(self, operation: str, subrows: int, subcols: int
+                         ) -> List[Strategy]:
+        out: List[Strategy] = []
+        for dims in mesh_candidate_dims(subrows, subcols, self.max_factors):
+            k = len(dims)
+            if operation in ("bcast", "reduce", "allreduce"):
+                out.append(Strategy(dims, "S" * k + "C" * k))
+                out.append(Strategy(dims, "S" * (k - 1) + "M" + "C" * (k - 1)))
+            elif operation == "collect":
+                out.append(Strategy(dims, "C" * k))
+                out.append(Strategy(dims, "M" + "C" * (k - 1)))
+            elif operation == "reduce_scatter":
+                out.append(Strategy(dims, "S" * k))
+                out.append(Strategy(dims, "S" * (k - 1) + "M"))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def ranked(self, operation: str, p: int, n: int,
+               mesh_shape: Optional[Tuple[int, int]] = None
+               ) -> List[Choice]:
+        """All candidates priced and sorted, cheapest first.
+
+        ``mesh_shape`` — (subrows, subcols) when the group is a physical
+        submesh; adds mesh-aligned candidates with their (much smaller)
+        conflict factors.
+        """
+        choices: List[Choice] = []
+        seen = set()
+
+        def add(strategy: Strategy, interleaves: Sequence[float]) -> None:
+            conflicts = tuple(self.model.conflict_factor(s)
+                              for s in interleaves)
+            key = (strategy.dims, strategy.ops, conflicts)
+            if key in seen:
+                return
+            seen.add(key)
+            try:
+                cost = self.model.hybrid(operation, strategy, n,
+                                         conflicts=conflicts)
+            except ValueError:
+                return
+            choices.append(Choice(strategy, cost, conflicts))
+
+        for s in self._candidates(operation, p):
+            add(s, linear_interleaves(s.dims))
+
+        if mesh_shape is not None:
+            R, C = mesh_shape
+            if R * C != p:
+                raise ValueError(
+                    f"mesh shape {R}x{C} does not cover group of {p}")
+            for s in self._mesh_candidates(operation, R, C):
+                inter = mesh_interleaves(s.dims, R, C)
+                if inter is not None:
+                    add(s, inter)
+
+        choices.sort(key=lambda c: (c.cost, len(c.strategy.dims)))
+        return choices
+
+    def best(self, operation: str, p: int, n: int,
+             mesh_shape: Optional[Tuple[int, int]] = None) -> Choice:
+        """The cheapest strategy for (operation, group size, length)."""
+        key = (operation, p, n, mesh_shape)
+        hit = self._cache.get(key)
+        if hit is None:
+            ranked = self.ranked(operation, p, n, mesh_shape)
+            if not ranked:
+                raise RuntimeError(
+                    f"no viable strategy for {operation} on p={p}")
+            hit = ranked[0]
+            self._cache[key] = hit
+        return hit
+
+
+_selectors: Dict[Tuple, Selector] = {}
+
+
+def selector_for(params: MachineParams, itemsize: int = 8,
+                 max_factors: int = 3) -> Selector:
+    """Process-wide memoized selector per parameter set."""
+    key = (params, itemsize, max_factors)
+    sel = _selectors.get(key)
+    if sel is None:
+        sel = Selector(params, itemsize=itemsize, max_factors=max_factors)
+        _selectors[key] = sel
+    return sel

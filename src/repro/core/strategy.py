@@ -1,0 +1,227 @@
+"""Hybrid strategy descriptors (section 6 of the paper).
+
+A strategy views a group of ``p`` nodes logically as a ``d_1 x ... x d_k``
+mesh and assigns a primitive to each dimension.  The paper's notation —
+``(2 x 3 x 5, SSMCC)`` — reads as the *execution order* of stages:
+Scatter in dimension 1, Scatter in dimension 2, MST kernel in dimension
+3, Collect in dimension 2, Collect in dimension 1.
+
+Dimension 1 is the *contiguous* dimension: its lines are runs of
+consecutive logical ranks; dimension ``i`` lines have stride
+``d_1 * ... * d_{i-1}``.  (This convention is what makes all
+intermediate data contiguous and is validated against Table 2.)
+
+One grammar covers all the hybrid families used in this library:
+
+* ``S^a M C^a`` with ``k = a+1`` dims, or ``S^k C^k`` with ``k`` dims —
+  the broadcast / combine-to-one / combine-to-all family.  The letters
+  are interpreted per operation (S = data-splitting stage-1 long
+  primitive, M = short-vector kernel, C = data-merging stage-2 long
+  primitive).
+* ``C^k`` or ``M C^{k-1}`` — the collect family (M = short collect
+  kernel on the innermost dimension).
+* ``S^k`` or ``S^{k-1} M`` — the distributed-combine family (stages run
+  outermost dimension first; M = short kernel on the innermost).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+_OPS_RE = re.compile(r"^(S*)(M?)(C*)$")
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A logical mesh shape plus per-dimension primitive assignment."""
+
+    dims: Tuple[int, ...]
+    ops: str
+
+    def __post_init__(self):
+        if not self.dims:
+            raise ValueError("strategy needs at least one dimension")
+        if any(d < 1 for d in self.dims):
+            raise ValueError(f"dimensions must be >= 1: {self.dims}")
+        m = _OPS_RE.match(self.ops)
+        if not m:
+            raise ValueError(
+                f"ops string {self.ops!r} is not of the form S*M?C*")
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def nscatter(self) -> int:
+        return self.ops.count("S")
+
+    @property
+    def ncollect(self) -> int:
+        return self.ops.count("C")
+
+    @property
+    def has_kernel(self) -> bool:
+        return "M" in self.ops
+
+    @property
+    def p(self) -> int:
+        return math.prod(self.dims)
+
+    def stride(self, i: int) -> int:
+        """Stride of dimension ``i`` (0-based): prod of earlier dims."""
+        return math.prod(self.dims[:i])
+
+    # -- family validation ------------------------------------------------
+
+    def check_smc(self) -> None:
+        """Validate for the broadcast/reduce/allreduce family."""
+        a = self.nscatter
+        if self.ncollect != a:
+            raise ValueError(
+                f"{self}: scatter and collect stage counts must match")
+        want = a + (1 if self.has_kernel else 0)
+        if len(self.dims) != want:
+            raise ValueError(
+                f"{self}: ops imply {want} dimensions, got {len(self.dims)}")
+        if not self.has_kernel and a == 0:
+            raise ValueError(f"{self}: empty strategy")
+
+    def check_collect(self) -> None:
+        """Validate for the collect family (``C^k`` or ``M C^{k-1}``)."""
+        if self.nscatter:
+            raise ValueError(f"{self}: collect strategies have no S stages")
+        want = self.ncollect + (1 if self.has_kernel else 0)
+        if len(self.dims) != want:
+            raise ValueError(
+                f"{self}: ops imply {want} dimensions, got {len(self.dims)}")
+        if self.has_kernel and not self.ops.startswith("M"):
+            raise ValueError(
+                f"{self}: the collect kernel must be the innermost stage")
+
+    def check_reduce_scatter(self) -> None:
+        """Validate for the distributed-combine family
+        (``S^k`` or ``S^{k-1} M``)."""
+        if self.ncollect:
+            raise ValueError(
+                f"{self}: distributed-combine strategies have no C stages")
+        want = self.nscatter + (1 if self.has_kernel else 0)
+        if len(self.dims) != want:
+            raise ValueError(
+                f"{self}: ops imply {want} dimensions, got {len(self.dims)}")
+        if self.has_kernel and not self.ops.endswith("M"):
+            raise ValueError(
+                f"{self}: the kernel must be the innermost (last) stage")
+
+    # -- display ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"({'x'.join(map(str, self.dims))}, {self.ops})"
+
+    @classmethod
+    def parse(cls, text: str) -> "Strategy":
+        """Parse ``"2x3x5:SSMCC"`` (or with a comma separator)."""
+        text = text.strip().strip("()")
+        for sep in (":", ","):
+            if sep in text:
+                dims_s, ops = text.split(sep, 1)
+                dims = tuple(int(t) for t in dims_s.lower().split("x"))
+                return cls(dims, ops.strip().upper())
+        raise ValueError(f"cannot parse strategy {text!r}; "
+                         "expected 'd1xd2x...:OPS'")
+
+
+def mst_strategy(p: int) -> Strategy:
+    """The pure short-vector strategy: one dimension, kernel only."""
+    return Strategy((p,), "M")
+
+
+def scatter_collect_strategy(p: int) -> Strategy:
+    """The pure long-vector strategy: one dimension, S then C."""
+    return Strategy((p,), "SC")
+
+
+@lru_cache(maxsize=4096)
+def ordered_factorizations(p: int, max_factors: int = 3,
+                           min_factor: int = 2) -> Tuple[Tuple[int, ...], ...]:
+    """All ordered factorizations of ``p`` into ``1..max_factors``
+    factors, each at least ``min_factor`` (plus the trivial ``(p,)``).
+
+    Section 6: "given a linear array of p nodes which is logically viewed
+    as a d1 x ... x dk mesh, there are a large number of choices" — this
+    is that choice set, capped for tractability.
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    results: List[Tuple[int, ...]] = [(p,)]
+
+    def rec(rest: int, prefix: Tuple[int, ...]) -> None:
+        if prefix:
+            results.append(prefix + (rest,))
+        if len(prefix) + 1 >= max_factors:
+            return
+        for f in range(min_factor, rest // min_factor + 1):
+            if rest % f == 0:
+                rec(rest // f, prefix + (f,))
+
+    if p >= min_factor * min_factor:
+        rec(p, ())
+    return tuple(sorted(set(results)))
+
+
+def smc_candidates(p: int, max_factors: int = 3) -> List[Strategy]:
+    """Candidate strategies for the broadcast/reduce/allreduce family."""
+    out: List[Strategy] = [mst_strategy(p)]
+    for dims in ordered_factorizations(p, max_factors):
+        k = len(dims)
+        # all-scatter/all-collect variant
+        out.append(Strategy(dims, "S" * k + "C" * k))
+        # kernel on the last dimension
+        if k >= 2 or (k == 1 and p > 1):
+            out.append(Strategy(dims, "S" * (k - 1) + "M" + "C" * (k - 1)))
+    # dedupe (the (p,) factorization yields (p,)SM?C duplicates of the
+    # canonical singles)
+    seen = set()
+    uniq = []
+    for s in out:
+        key = (s.dims, s.ops)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(s)
+    return uniq
+
+
+def collect_candidates(p: int, max_factors: int = 3) -> List[Strategy]:
+    """Candidate strategies for the collect family."""
+    out: List[Strategy] = []
+    for dims in ordered_factorizations(p, max_factors):
+        k = len(dims)
+        out.append(Strategy(dims, "C" * k))
+        out.append(Strategy(dims, "M" + "C" * (k - 1)))
+    seen = set()
+    uniq = []
+    for s in out:
+        key = (s.dims, s.ops)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(s)
+    return uniq
+
+
+def reduce_scatter_candidates(p: int, max_factors: int = 3) -> List[Strategy]:
+    """Candidate strategies for the distributed-combine family."""
+    out: List[Strategy] = []
+    for dims in ordered_factorizations(p, max_factors):
+        k = len(dims)
+        out.append(Strategy(dims, "S" * k))
+        out.append(Strategy(dims, "S" * (k - 1) + "M"))
+    seen = set()
+    uniq = []
+    for s in out:
+        key = (s.dims, s.ops)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(s)
+    return uniq

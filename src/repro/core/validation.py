@@ -1,0 +1,75 @@
+"""Reference (sequential) semantics of every collective — the oracles.
+
+Table 1 of the paper defines the seven operations in terms of a vector
+``x`` partitioned into ``x_0 .. x_{p-1}`` and per-rank vectors ``y(j)``
+with a combine ``(+)``.  These functions compute the "After" column of
+that table directly, with no communication, for use as ground truth in
+tests, examples and benchmark self-checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ops import get_op
+from .partition import partition_offsets, partition_sizes
+
+
+def ref_bcast(x: np.ndarray, p: int) -> List[np.ndarray]:
+    """Broadcast: x at all P_j."""
+    return [x.copy() for _ in range(p)]
+
+
+def ref_scatter(x: np.ndarray, p: int,
+                sizes: Optional[Sequence[int]] = None) -> List[np.ndarray]:
+    """Scatter: x_j at P_j."""
+    if sizes is None:
+        sizes = partition_sizes(len(x), p)
+    offs = partition_offsets(sizes)
+    if offs[-1] != len(x):
+        raise ValueError("partition does not cover the vector")
+    return [x[offs[j]:offs[j + 1]].copy() for j in range(p)]
+
+
+def ref_gather(blocks: Sequence[np.ndarray], root: int
+               ) -> List[Optional[np.ndarray]]:
+    """Gather: x at P_root, nothing elsewhere."""
+    full = np.concatenate(list(blocks))
+    return [full if j == root else None for j in range(len(blocks))]
+
+
+def ref_collect(blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Collect: x at every P_j."""
+    full = np.concatenate(list(blocks))
+    return [full.copy() for _ in range(len(blocks))]
+
+
+def ref_reduce(vectors: Sequence[np.ndarray], op="sum", root: int = 0
+               ) -> List[Optional[np.ndarray]]:
+    """Combine-to-one: (+) y(j) at P_root."""
+    op = get_op(op)
+    total = op.reduce_all(vectors)
+    return [total if j == root else None for j in range(len(vectors))]
+
+
+def ref_allreduce(vectors: Sequence[np.ndarray], op="sum"
+                  ) -> List[np.ndarray]:
+    """Combine-to-all: (+) y(j) at every P_j."""
+    op = get_op(op)
+    total = op.reduce_all(vectors)
+    return [total.copy() for _ in range(len(vectors))]
+
+
+def ref_reduce_scatter(vectors: Sequence[np.ndarray], op="sum",
+                       sizes: Optional[Sequence[int]] = None
+                       ) -> List[np.ndarray]:
+    """Distributed combine: block j of (+) y(i) at P_j."""
+    op = get_op(op)
+    p = len(vectors)
+    total = op.reduce_all(vectors)
+    if sizes is None:
+        sizes = partition_sizes(len(total), p)
+    offs = partition_offsets(sizes)
+    return [total[offs[j]:offs[j + 1]].copy() for j in range(p)]

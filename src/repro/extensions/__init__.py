@@ -1,0 +1,12 @@
+"""Extensions beyond the core library: the section 8 "theoretically
+superior" pipelined/EDST broadcasts and their robustness experiments."""
+
+from .edst import edst_bcast, gray_code_group
+from .hypercube import (exchange_allreduce, rd_allreduce, rd_collect,
+                        rh_reduce_scatter)
+from .pipelined import chain_order, optimal_chunks, pipelined_bcast
+
+__all__ = ["edst_bcast", "gray_code_group",
+           "exchange_allreduce", "rd_allreduce", "rd_collect",
+           "rh_reduce_scatter",
+           "chain_order", "optimal_chunks", "pipelined_bcast"]

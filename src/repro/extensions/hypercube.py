@@ -1,0 +1,158 @@
+"""Hypercube-native collective algorithms (section 11).
+
+"In addition to the Paragon and Delta versions, we also have a version
+tuned for the iPSC/860 that has the same functionality, but uses
+algorithms more appropriate for hypercubes."
+
+On a binary d-cube, recursive halving/doubling across the cube
+dimensions is the natural family: every step communicates along one
+hypercube dimension, so under e-cube routing all concurrent messages
+travel single disjoint links — conflict-free by construction — and the
+step count is ``d = log2 p`` instead of the ring's ``p - 1``:
+
+==================================  ===================================
+recursive-doubling collect          ``d alpha + ((p-1)/p) n beta``
+recursive-halving reduce-scatter    ``d alpha + ((p-1)/p)(n beta+n gamma)``
+allreduce (halve then double)       ``2 d alpha + 2((p-1)/p) n beta + ...``
+==================================  ===================================
+
+Compare with the mesh library's bucket primitives: same asymptotic beta
+term, exponentially lower latency — *if* you have cube wiring.  These
+are the algorithms a hypercube port of the library would install behind
+the same API, and the benchmark shows the latency gap on a simulated
+iPSC/860.
+
+Only power-of-two group sizes are supported (the iPSC was a cube); the
+callers fall back to the generic algorithms otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from ..core.context import CollContext
+from ..core.ops import get_op
+from ..core.partition import partition_offsets, partition_sizes
+
+
+def _check_pow2(p: int) -> int:
+    if p & (p - 1):
+        raise ValueError(
+            f"hypercube algorithms need a power-of-two group, got {p}")
+    return p.bit_length() - 1
+
+
+def rd_collect(ctx: CollContext, myblock: np.ndarray,
+               sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Recursive-doubling allgather: at step t, exchange everything
+    held so far with the partner across cube dimension t.  The held
+    span doubles each step; blocks stay contiguous because partner
+    spans are adjacent in rank order."""
+    me = ctx.require_member()
+    p = ctx.size
+    d = _check_pow2(p)
+    if sizes is None:
+        sizes = [len(myblock)] * p
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    offs = partition_offsets(sizes)
+    if p == 1:
+        return myblock
+    yield ctx.overhead()
+
+    cur = myblock
+    span = 1
+    for t in range(d):
+        partner = me ^ (1 << t)
+        lo = (me // span) * span            # my held range starts here
+        plo = (partner // span) * span      # partner's held range
+        sreq = ctx.isend(partner, cur)
+        rreq = ctx.irecv(partner)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        if plo < lo:
+            cur = np.concatenate([incoming, cur])
+        else:
+            cur = np.concatenate([cur, incoming])
+        span *= 2
+    return cur
+
+
+def rh_reduce_scatter(ctx: CollContext, vec: np.ndarray, op=None,
+                      sizes: Optional[Sequence[int]] = None) -> Generator:
+    """Recursive-halving reduce-scatter: at step t (from the top
+    dimension down), send the half of the current span belonging to the
+    partner's side, receive mine, combine; after d steps each rank
+    holds its own fully combined block."""
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    p = ctx.size
+    d = _check_pow2(p)
+    if sizes is None:
+        sizes = partition_sizes(len(vec), p)
+    if len(sizes) != p:
+        raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
+    offs = partition_offsets(sizes)
+    if len(vec) != offs[-1]:
+        raise ValueError(
+            f"vector has {len(vec)} elements, partition covers {offs[-1]}")
+    if p == 1:
+        return vec.copy()
+    yield ctx.overhead()
+
+    cur = vec
+    lo, hi = 0, p   # block range cur spans
+    for t in reversed(range(d)):
+        partner = me ^ (1 << t)
+        mid = (lo + hi) // 2
+        cut = offs[mid] - offs[lo]
+        if me < mid:
+            send_part, keep = cur[cut:], cur[:cut]
+        else:
+            send_part, keep = cur[:cut], cur[cut:]
+        sreq = ctx.isend(partner, send_part)
+        rreq = ctx.irecv(partner)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        yield ctx.compute(len(incoming))
+        cur = op(keep, incoming)
+        if me < mid:
+            hi = mid
+        else:
+            lo = mid
+    return cur
+
+
+def rd_allreduce(ctx: CollContext, vec: np.ndarray, op=None) -> Generator:
+    """Allreduce as recursive halving then recursive doubling — the
+    hypercube analogue of the section 5.2 long combine-to-all."""
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    p = ctx.size
+    _check_pow2(p)
+    sizes = partition_sizes(len(vec), p)
+    mine = yield from rh_reduce_scatter(ctx, vec, op=op, sizes=sizes)
+    return (yield from rd_collect(ctx, mine, sizes=sizes))
+
+
+def exchange_allreduce(ctx: CollContext, vec: np.ndarray, op=None
+                       ) -> Generator:
+    """The classic full-vector dimension-exchange allreduce:
+    ``d (alpha + n beta + n gamma)`` — latency-optimal, the short-vector
+    choice on cubes (and what NX presumably did well)."""
+    op = get_op(op if op is not None else "sum")
+    me = ctx.require_member()
+    p = ctx.size
+    d = _check_pow2(p)
+    if p == 1:
+        return vec.copy()
+    yield ctx.overhead()
+    acc = vec
+    for t in range(d):
+        partner = me ^ (1 << t)
+        sreq = ctx.isend(partner, acc)
+        rreq = ctx.irecv(partner)
+        _, incoming = yield ctx.waitall(sreq, rreq)
+        yield ctx.compute(len(incoming))
+        acc = op(acc, incoming)
+    return acc

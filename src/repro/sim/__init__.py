@@ -1,0 +1,30 @@
+"""Simulated wormhole-routed message-passing machine (the substrate).
+
+This package replaces the paper's Intel Paragon: a discrete-event
+simulator implementing the communication model of section 2 — the
+``alpha + n*beta`` cost, per-direction channels, dimension-ordered
+wormhole routing, fluid max-min bandwidth sharing on conflicts, one
+injection and one ejection port per node, and ``gamma``-cost arithmetic.
+"""
+
+from .engine import (CommHandle, DeadlockError, Engine, RankEnv,
+                     SimulationLimitError, payload_nbytes)
+from .machine import Machine, RunResult
+from .network import FluidNetwork, Flow
+from .params import (DELTA, IPSC860, PARAGON, PRESETS, UNIT, MachineParams,
+                     preset)
+from .topology import (FullyConnected, Hypercube, LinearArray, Mesh2D, Ring,
+                       Topology, Torus2D, route_length)
+from .trace import MessageRecord, Tracer
+
+__all__ = [
+    "CommHandle", "DeadlockError", "Engine", "RankEnv",
+    "SimulationLimitError", "payload_nbytes",
+    "Machine", "RunResult",
+    "FluidNetwork", "Flow",
+    "DELTA", "IPSC860", "PARAGON", "PRESETS", "UNIT", "MachineParams",
+    "preset",
+    "FullyConnected", "Hypercube", "LinearArray", "Mesh2D", "Ring",
+    "Topology", "Torus2D", "route_length",
+    "MessageRecord", "Tracer",
+]

@@ -1,0 +1,458 @@
+"""Discrete-event simulation kernel and the SPMD rank-program interface.
+
+Programs are Python generator functions running one-per-rank, exactly like
+an SPMD message-passing program.  A program interacts with the machine by
+``yield``-ing request objects created through its :class:`RankEnv`:
+
+.. code-block:: python
+
+    def program(env):
+        if env.rank == 0:
+            yield env.send(1, np.arange(4.0))
+        else:
+            data = yield env.recv(0)
+        yield env.compute(100)        # 100 combine operations
+        return "done"
+
+Blocking semantics follow the paper's model (section 2):
+
+* a send and its matching receive rendezvous: the transfer begins when
+  both sides have arrived, costs ``alpha`` of latency and then streams
+  through the :class:`~repro.sim.network.FluidNetwork` (so conflicting
+  messages share bandwidth);
+* ``isend``/``irecv`` post without blocking so a node can send and
+  receive simultaneously — required by the bucket (ring) primitives;
+* a node still has a single injection and a single ejection port, so two
+  concurrent sends from one node share its injection bandwidth.
+
+Message matching is by ``(source, tag)`` with FIFO order per pair, which
+is deterministic for deterministic programs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Dict, Deque, Generator, List, Optional, Tuple
+from collections import defaultdict, deque
+
+import numpy as np
+
+from .network import FluidNetwork
+from .params import MachineParams
+from .topology import Topology
+from .trace import MessageRecord, Tracer
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no events remain but some rank is still blocked."""
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when an event-count safety limit is exceeded."""
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a message payload, in bytes.
+
+    NumPy arrays and scalars report their true buffer size; ``bytes``
+    its length; Python ints/floats count as 8 bytes; ``None`` is a
+    zero-byte synchronization message; sequences are summed.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, np.generic):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, complex)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    raise TypeError(
+        f"cannot infer wire size of {type(obj).__name__}; pass nbytes="
+    )
+
+
+# ----------------------------------------------------------------------
+# Requests yielded by programs
+# ----------------------------------------------------------------------
+
+class _Request:
+    """Base class for everything a program may yield."""
+    __slots__ = ()
+
+
+class _Delay(_Request):
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError("cannot delay by a negative duration")
+        self.duration = duration
+
+
+class CommHandle:
+    """Completion handle for a posted (nonblocking) send or receive."""
+
+    __slots__ = ("kind", "peer", "tag", "data", "nbytes", "done",
+                 "_waiters", "record", "posted_at")
+
+    def __init__(self, kind: str, peer: int, tag: int,
+                 data: Any = None, nbytes: float = 0.0,
+                 posted_at: float = 0.0):
+        self.kind = kind          # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.data = data          # payload (filled in on recv completion)
+        self.nbytes = nbytes
+        self.done = False
+        self._waiters: List["_WaitGroup"] = []
+        self.record: Optional[MessageRecord] = None
+        self.posted_at = posted_at
+
+    def _complete(self, engine: "Engine") -> None:
+        self.done = True
+        waiters, self._waiters = self._waiters, []
+        for wg in waiters:
+            wg.notify(engine)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<{self.kind} peer={self.peer} tag={self.tag} {state}>"
+
+
+class _WaitGroup(_Request):
+    """Blocks a process until every listed handle completes."""
+
+    __slots__ = ("handles", "pending", "proc")
+
+    def __init__(self, handles: List[CommHandle]):
+        self.handles = handles
+        self.pending = 0
+        self.proc: Optional["_Process"] = None
+
+    def arm(self, engine: "Engine", proc: "_Process") -> bool:
+        """Register on incomplete handles.  Returns True if already done."""
+        self.proc = proc
+        for h in self.handles:
+            if not h.done:
+                h._waiters.append(self)
+                self.pending += 1
+        return self.pending == 0
+
+    def notify(self, engine: "Engine") -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            engine._ready(self.proc, self._value())
+
+    def _value(self) -> Any:
+        if len(self.handles) == 1:
+            h = self.handles[0]
+            return h.data if h.kind == "recv" else None
+        return [h.data if h.kind == "recv" else None for h in self.handles]
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+
+class _Process:
+    __slots__ = ("rank", "gen", "done", "result", "blocked_on")
+
+    def __init__(self, rank: int, gen: Generator):
+        self.rank = rank
+        self.gen = gen
+        self.done = False
+        self.result: Any = None
+        self.blocked_on: Any = None
+
+
+class RankEnv:
+    """Per-rank view of the machine, passed to every program.
+
+    All communication methods below *construct requests*; blocking ones
+    must be ``yield``-ed, nonblocking ones (``isend``/``irecv``) take
+    effect immediately and return a :class:`CommHandle` to be completed
+    through :meth:`waitall`.
+    """
+
+    __slots__ = ("engine", "rank")
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+
+    # --- introspection -------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.engine.topology.nnodes
+
+    @property
+    def params(self) -> MachineParams:
+        return self.engine.params
+
+    @property
+    def topology(self) -> Topology:
+        return self.engine.topology
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # --- nonblocking ----------------------------------------------------
+
+    def isend(self, dst: int, data: Any, tag: int = 0,
+              nbytes: Optional[float] = None) -> CommHandle:
+        """Post a send; returns immediately with a completion handle."""
+        if nbytes is None:
+            nbytes = payload_nbytes(data)
+        return self.engine._post_send(self.rank, dst, tag, data, nbytes)
+
+    def irecv(self, src: int, tag: int = 0) -> CommHandle:
+        """Post a receive; returns immediately with a completion handle."""
+        return self.engine._post_recv(self.rank, src, tag)
+
+    # --- blocking (yield these) ------------------------------------------
+
+    def waitall(self, *handles: CommHandle) -> _WaitGroup:
+        """Block until every handle completes.
+
+        When yielded, resumes with the received payload (single recv
+        handle) or a list of payloads/None in handle order.
+        """
+        flat: List[CommHandle] = []
+        for h in handles:
+            if isinstance(h, CommHandle):
+                flat.append(h)
+            else:
+                flat.extend(h)
+        return _WaitGroup(flat)
+
+    def send(self, dst: int, data: Any, tag: int = 0,
+             nbytes: Optional[float] = None) -> _WaitGroup:
+        """Blocking send (post + wait)."""
+        return self.waitall(self.isend(dst, data, tag=tag, nbytes=nbytes))
+
+    def recv(self, src: int, tag: int = 0) -> _WaitGroup:
+        """Blocking receive; yields the payload."""
+        return self.waitall(self.irecv(src, tag))
+
+    def delay(self, duration: float) -> _Delay:
+        """Advance this rank's clock by ``duration`` seconds."""
+        return _Delay(duration)
+
+    def compute(self, nelems: float) -> _Delay:
+        """Charge ``nelems`` combine operations (``n * gamma``)."""
+        return _Delay(nelems * self.engine.params.gamma)
+
+    def overhead(self, count: float = 1.0) -> _Delay:
+        """Charge library software overhead (``count * sw_overhead``)."""
+        return _Delay(count * self.engine.params.sw_overhead)
+
+    def mark(self, label: str) -> _Delay:
+        """Drop a zero-cost annotation into the trace."""
+        if self.engine.tracer is not None:
+            self.engine.tracer.mark(self.engine.now, self.rank, label)
+        return _Delay(0.0)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+class Engine:
+    """Event loop coordinating rank programs and the fluid network."""
+
+    def __init__(self, topology: Topology, params: MachineParams,
+                 tracer: Optional[Tracer] = None,
+                 max_events: int = 200_000_000):
+        self.topology = topology
+        self.params = params
+        self.tracer = tracer
+        self.now = 0.0
+        self.max_events = max_events
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._procs: List[_Process] = []
+        self._ndone = 0
+        self._last_done_time = 0.0
+        self.network = FluidNetwork(topology, params, self.schedule)
+        # (dst, src, tag) -> deque of unmatched sends / recvs
+        self._pending_sends: Dict[Tuple[int, int, int], Deque] = \
+            defaultdict(deque)
+        self._pending_recvs: Dict[Tuple[int, int, int], Deque] = \
+            defaultdict(deque)
+        self.messages_sent = 0
+
+    # --- scheduling ------------------------------------------------------
+
+    def schedule(self, t: float, cb: Callable[[], None]) -> None:
+        if t < self.now - 1e-12:
+            raise RuntimeError(
+                f"cannot schedule into the past ({t} < {self.now})")
+        heapq.heappush(self._heap, (max(t, self.now), next(self._seq), cb))
+
+    # --- processes --------------------------------------------------------
+
+    def spawn(self, rank: int, gen: Generator) -> _Process:
+        proc = _Process(rank, gen)
+        self._procs.append(proc)
+        self.schedule(0.0, lambda: self._advance(proc, None))
+        return proc
+
+    def _ready(self, proc: _Process, value: Any) -> None:
+        self.schedule(self.now, lambda: self._advance(proc, value))
+
+    def _advance(self, proc: _Process, value: Any) -> None:
+        if proc.done:
+            return
+        proc.blocked_on = None
+        try:
+            req = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            self._ndone += 1
+            if self.now > self._last_done_time:
+                self._last_done_time = self.now
+            return
+        self._dispatch(proc, req)
+
+    def _dispatch(self, proc: _Process, req: Any) -> None:
+        if isinstance(req, _Delay):
+            proc.blocked_on = req
+            self.schedule(self.now + req.duration,
+                          lambda: self._advance(proc, None))
+        elif isinstance(req, _WaitGroup):
+            proc.blocked_on = req
+            if req.arm(self, proc):
+                self._ready(proc, req._value())
+        elif isinstance(req, CommHandle):
+            # Allow `yield env.isend(...)` as shorthand for post+wait.
+            self._dispatch(proc, _WaitGroup([req]))
+        else:
+            raise TypeError(
+                f"rank {proc.rank} yielded {req!r}, which is not a request; "
+                "did you forget `yield from` on a nested collective?")
+
+    # --- message layer ------------------------------------------------------
+
+    def _post_send(self, src: int, dst: int, tag: int, data: Any,
+                   nbytes: float) -> CommHandle:
+        self.topology.check_node(dst)
+        h = CommHandle("send", dst, tag, data, nbytes,
+                       posted_at=self.now)
+        self.messages_sent += 1
+        rec = None
+        if self.tracer is not None:
+            rec = MessageRecord(src=src, dst=dst, tag=tag, nbytes=nbytes,
+                                t_send_post=self.now)
+            h.record = rec
+            self.tracer.message(rec)
+        key = (dst, src, tag)
+        recvq = self._pending_recvs.get(key)
+        if recvq:
+            rh = recvq.popleft()
+            if not recvq:
+                del self._pending_recvs[key]
+            if rec is not None:
+                rec.t_recv_post = rh.posted_at
+            self._match(src, dst, tag, h, rh)
+        else:
+            self._pending_sends[key].append(h)
+        return h
+
+    def _post_recv(self, dst: int, src: int, tag: int) -> CommHandle:
+        self.topology.check_node(src)
+        h = CommHandle("recv", src, tag, posted_at=self.now)
+        key = (dst, src, tag)
+        sendq = self._pending_sends.get(key)
+        if sendq:
+            sh = sendq.popleft()
+            if not sendq:
+                del self._pending_sends[key]
+            if sh.record is not None:
+                sh.record.t_recv_post = self.now
+            self._match(src, dst, tag, sh, h)
+        else:
+            self._pending_recvs[key].append(h)
+        return h
+
+    def _match(self, src: int, dst: int, tag: int,
+               sh: CommHandle, rh: CommHandle) -> None:
+        """Both sides present: run the transfer."""
+        now = self.now
+        rec = sh.record
+        if rec is not None:
+            rec.t_match = now
+            if math.isnan(rec.t_recv_post):
+                rec.t_recv_post = now
+
+        def finish(t_done: float) -> None:
+            if rec is not None:
+                rec.t_complete = t_done
+            rh.data = sh.data
+            rh.nbytes = sh.nbytes
+            sh._complete(self)
+            rh._complete(self)
+
+        if src == dst:
+            # Local "transfer": a memory copy, modelled as free (the
+            # paper's algorithms never self-send; baselines may).
+            self.schedule(now, lambda: finish(self.now))
+            return
+
+        alpha = self.params.alpha
+
+        def begin_flow() -> None:
+            if sh.nbytes <= 0:
+                finish(self.now)
+            else:
+                self.network.start_flow(src, dst, sh.nbytes, self.now,
+                                        finish)
+
+        self.schedule(now + alpha, begin_flow)
+
+    # --- main loop -------------------------------------------------------
+
+    def run(self) -> float:
+        """Run to completion; returns the simulated time at which the
+        last rank finished (stale fluid-model events scheduled past that
+        point are drained but do not count as elapsed time)."""
+        events = 0
+        while self._heap:
+            events += 1
+            if events > self.max_events:
+                raise SimulationLimitError(
+                    f"exceeded {self.max_events} events at t={self.now}")
+            if self._ndone == len(self._procs):
+                break  # remaining events can only be stale completions
+            t, _, cb = heapq.heappop(self._heap)
+            self.now = t
+            cb()
+        if self._ndone != len(self._procs):
+            blocked = [(p.rank, p.blocked_on) for p in self._procs
+                       if not p.done]
+            detail = "; ".join(
+                f"rank {r} blocked on {self._describe(b)}"
+                for r, b in blocked[:16])
+            raise DeadlockError(
+                f"{len(blocked)} rank(s) never finished: {detail}")
+        return self._last_done_time
+
+    @staticmethod
+    def _describe(req: Any) -> str:
+        if isinstance(req, _WaitGroup):
+            waits = [h for h in req.handles if not h.done]
+            return "waitall[" + ", ".join(map(repr, waits[:4])) + "]"
+        return repr(req)
+
+    def results(self) -> List[Any]:
+        return [p.result for p in sorted(self._procs, key=lambda p: p.rank)]

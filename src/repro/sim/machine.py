@@ -1,0 +1,105 @@
+"""High-level facade: build a machine, run an SPMD program, get results.
+
+Typical use::
+
+    from repro.sim import Machine, Mesh2D, PARAGON
+
+    machine = Machine(Mesh2D(16, 32), PARAGON)
+
+    def program(env):
+        ...  # yield env.send(...) / env.recv(...) etc.
+        return env.rank
+
+    run = machine.run(program)
+    run.time      # elapsed simulated seconds
+    run.results   # per-rank return values
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from .engine import Engine, RankEnv
+from .params import MachineParams, UNIT
+from .topology import Topology
+from .trace import Tracer
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated SPMD run."""
+
+    time: float                 #: elapsed simulated time
+    results: List[Any]          #: per-rank return values, rank order
+    trace: Optional[Tracer]     #: message trace, if tracing was on
+    messages: int               #: total point-to-point messages
+    bytes_moved: float          #: total payload bytes carried by the net
+    rate_recomputations: int    #: fluid-model bookkeeping (diagnostics)
+
+    def result_of(self, rank: int) -> Any:
+        return self.results[rank]
+
+
+class Machine:
+    """A simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    topology:
+        Physical interconnect (:class:`~repro.sim.topology.Mesh2D`,
+        :class:`~repro.sim.topology.LinearArray`, ...).
+    params:
+        :class:`~repro.sim.params.MachineParams`; defaults to the unit
+        model used by the analytic tests.
+    trace:
+        When true, every run records per-message lifecycle events.
+    """
+
+    def __init__(self, topology: Topology,
+                 params: MachineParams = UNIT,
+                 trace: bool = False):
+        self.topology = topology
+        self.params = params
+        self.trace = trace
+
+    @property
+    def nnodes(self) -> int:
+        return self.topology.nnodes
+
+    def run(self, program: Callable[..., Any], *args: Any,
+            ranks: Optional[Sequence[int]] = None,
+            trace: Optional[bool] = None,
+            **kwargs: Any) -> RunResult:
+        """Execute ``program(env, *args, **kwargs)`` on every rank.
+
+        ``program`` must be a generator function (an SPMD rank program).
+        ``ranks`` restricts execution to a subset of nodes (the others
+        stay idle); per-rank return values for idle nodes are ``None``.
+        """
+        do_trace = self.trace if trace is None else trace
+        tracer = Tracer() if do_trace else None
+        engine = Engine(self.topology, self.params, tracer=tracer)
+        active = range(self.nnodes) if ranks is None else ranks
+        active = sorted(set(active))
+        for r in active:
+            self.topology.check_node(r)
+            env = RankEnv(engine, r)
+            gen = program(env, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    "program must be a generator function "
+                    "(write it with `yield`; got a plain function?)")
+            engine.spawn(r, gen)
+        elapsed = engine.run()
+        per_rank: List[Any] = [None] * self.nnodes
+        for proc in engine._procs:
+            per_rank[proc.rank] = proc.result
+        return RunResult(
+            time=elapsed,
+            results=per_rank,
+            trace=tracer,
+            messages=engine.messages_sent,
+            bytes_moved=engine.network.bytes_carried,
+            rate_recomputations=engine.network.rate_recomputations,
+        )

@@ -1,0 +1,284 @@
+"""Fluid-flow transport model with max-min fair bandwidth sharing.
+
+This module implements the communication model of section 2 of the paper:
+
+* sending a message of ``n`` bytes between any two nodes costs
+  ``alpha + n * beta`` in the absence of network conflicts;
+* a processor can send and receive simultaneously, but the node-to-network
+  injection port and the network-to-node ejection port are each a single
+  shared resource;
+* "when two messages traverse the same physical link on the communication
+  interconnect, we assume they share the bandwidth of that link".
+
+We realize the sharing rule as a *fluid* model: every in-flight message is
+a flow across an ordered set of resources — the sender's injection port,
+the directed channels of its wormhole route, and the receiver's ejection
+port.  At any instant the flow receives the max-min fair rate over all its
+resources (computed by the classic progressive-filling / water-filling
+algorithm).  Whenever a flow starts or finishes, rates are recomputed —
+but only inside the *connected component* of flows that transitively share
+a resource with the changed flow, so the common conflict-free case stays
+O(route length) per event.
+
+The paper's Paragon refinement (section 7.1) — excess link bandwidth so a
+channel can carry several messages without penalty — enters through
+``MachineParams.link_capacity``: channel capacity is ``link_capacity``
+times the injection bandwidth, so up to that many flows cross a channel
+at full speed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .params import MachineParams
+from .topology import Topology
+
+Resource = Tuple  # ("inj", node) | ("ej", node) | ("ch", u, v)
+
+#: tolerance for "flow has finished" in bytes
+_EPS_BYTES = 1e-9
+
+
+class Flow:
+    """One in-flight message moving through the fluid network."""
+
+    __slots__ = ("fid", "src", "dst", "route", "remaining", "rate",
+                 "last_update", "epoch", "on_complete", "started_at")
+
+    def __init__(self, fid: int, src: int, dst: int,
+                 route: Tuple[Resource, ...], nbytes: float,
+                 on_complete: Callable[[float], None], now: float):
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.route = route
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.last_update = now
+        self.started_at = now
+        #: bumped on every reschedule; stale completion events are ignored
+        self.epoch = 0
+        self.on_complete = on_complete
+
+    def settle(self, now: float) -> None:
+        """Account for bytes transferred since the last rate change."""
+        dt = now - self.last_update
+        if dt > 0.0 and self.rate > 0.0:
+            self.remaining -= self.rate * dt
+            if self.remaining < 0.0:
+                self.remaining = 0.0
+        self.last_update = now
+
+    def eta(self, now: float) -> float:
+        """Predicted completion time at the current rate."""
+        if self.remaining <= _EPS_BYTES:
+            return now
+        if self.rate <= 0.0:
+            return math.inf
+        return now + self.remaining / self.rate
+
+    def __repr__(self) -> str:
+        return (f"Flow({self.src}->{self.dst}, rem={self.remaining:.1f}B, "
+                f"rate={self.rate:.3g})")
+
+
+class FluidNetwork:
+    """Shared-bandwidth transport over a :class:`Topology`.
+
+    The network does not own the simulation clock; an engine drives it by
+    calling :meth:`start_flow` and :meth:`completion_due`, and by invoking
+    :meth:`finish_flow` when a scheduled completion event fires.
+    """
+
+    def __init__(self, topology: Topology, params: MachineParams,
+                 schedule: Callable[[float, Callable[[], None]], None]):
+        self.topology = topology
+        self.params = params
+        self._schedule = schedule
+        self._fid = itertools.count()
+        #: resource -> set of flows currently crossing it
+        self._res_flows: Dict[Resource, Set[Flow]] = defaultdict(set)
+        self._active: Set[Flow] = set()
+        self._port_cap = params.injection_bandwidth
+        self._chan_cap = params.channel_bandwidth
+        #: statistics
+        self.flows_started = 0
+        self.bytes_carried = 0.0
+        self.rate_recomputations = 0
+
+    # ------------------------------------------------------------------
+    # public interface used by the engine
+    # ------------------------------------------------------------------
+
+    def start_flow(self, src: int, dst: int, nbytes: float, now: float,
+                   on_complete: Callable[[float], None]) -> Flow:
+        """Begin streaming ``nbytes`` from src to dst at time ``now``.
+
+        ``on_complete(t)`` is called exactly once, at the simulated time
+        the last byte arrives.  The ``alpha`` latency is *not* charged
+        here — the engine charges it before starting the flow, matching
+        the paper's ``alpha + n*beta`` decomposition.
+        """
+        if src == dst:
+            raise ValueError("self-sends never enter the network")
+        if nbytes <= 0 or self._port_cap == math.inf:
+            # Zero-length messages, or an idealized beta == 0 machine:
+            # the transfer completes instantly.
+            self._schedule(now, lambda: on_complete(now))
+            return Flow(next(self._fid), src, dst, (), 0.0,
+                        on_complete, now)
+
+        route = self._route_resources(src, dst)
+        flow = Flow(next(self._fid), src, dst, route, nbytes,
+                    on_complete, now)
+        self._active.add(flow)
+        for r in route:
+            self._res_flows[r].add(flow)
+        self.flows_started += 1
+        self.bytes_carried += nbytes
+        self._recompute_component(flow, now)
+        return flow
+
+    def active_flow_count(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _route_resources(self, src: int, dst: int) -> Tuple[Resource, ...]:
+        chans = self.topology.route(src, dst)
+        res: List[Resource] = [("inj", src)]
+        res.extend(("ch",) + ch for ch in chans)
+        res.append(("ej", dst))
+        return tuple(res)
+
+    def _capacity(self, r: Resource) -> float:
+        return self._port_cap if r[0] in ("inj", "ej") else self._chan_cap
+
+    def _component(self, seed: Flow) -> List[Flow]:
+        """All active flows transitively sharing a resource with ``seed``.
+
+        When the seed has just been removed from the network, the
+        component is seeded from its route's resources so that the flows
+        it was sharing with get their rates raised.
+        """
+        seen: Set[Flow] = set()
+        res_seen: Set[Resource] = set()
+        flow_stack: List[Flow] = [seed] if seed in self._active else []
+        res_stack: List[Resource] = list(seed.route)
+        while flow_stack or res_stack:
+            if flow_stack:
+                f = flow_stack.pop()
+                if f in seen:
+                    continue
+                seen.add(f)
+                for r in f.route:
+                    if r not in res_seen:
+                        res_stack.append(r)
+            else:
+                r = res_stack.pop()
+                if r in res_seen:
+                    continue
+                res_seen.add(r)
+                for f in self._res_flows.get(r, ()):
+                    if f not in seen:
+                        flow_stack.append(f)
+        return list(seen)
+
+    def _recompute_component(self, seed: Flow, now: float) -> None:
+        """Re-run water-filling for the component touched by ``seed``."""
+        comp = self._component(seed)
+        if not comp:
+            return
+        self.rate_recomputations += 1
+        # Settle transferred bytes at the old rates before changing them.
+        for f in comp:
+            f.settle(now)
+
+        # Progressive filling (max-min fairness).  Only the resources used
+        # by component flows matter; by construction no flow outside the
+        # component crosses them.
+        res_caps: Dict[Resource, float] = {}
+        res_counts: Dict[Resource, int] = {}
+        for f in comp:
+            for r in f.route:
+                if r not in res_caps:
+                    res_caps[r] = self._capacity(r)
+                    res_counts[r] = 0
+                res_counts[r] += 1
+
+        unfixed: Set[Flow] = set(comp)
+        while unfixed:
+            bottleneck_share = math.inf
+            bottleneck: Optional[Resource] = None
+            for r, cnt in res_counts.items():
+                if cnt <= 0:
+                    continue
+                share = res_caps[r] / cnt
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck = r
+            if bottleneck is None:
+                # No constraining resources left (cannot happen while
+                # unfixed flows remain, since every flow crosses >= 2
+                # resources) — defensive break.
+                for f in unfixed:
+                    f.rate = math.inf
+                break
+            for f in list(self._res_flows[bottleneck]):
+                if f in unfixed:
+                    f.rate = bottleneck_share
+                    unfixed.discard(f)
+                    for r in f.route:
+                        res_caps[r] -= bottleneck_share
+                        if res_caps[r] < 0.0:
+                            res_caps[r] = 0.0
+                        res_counts[r] -= 1
+
+        # Reschedule completion events at the new rates.
+        for f in comp:
+            f.epoch += 1
+            t = f.eta(now)
+            if t != math.inf:
+                self._schedule(t, self._make_completion(f, f.epoch, t))
+
+    def _make_completion(self, flow: Flow, epoch: int,
+                         when: float) -> Callable[[], None]:
+        def fire() -> None:
+            if flow.epoch != epoch or flow not in self._active:
+                return  # stale event from before a rate change
+            # settle and verify the flow really drained
+            flow.settle(when)
+            if flow.remaining > _EPS_BYTES:
+                # Floating-point residue: a few bytes remain because the
+                # settle arithmetic differs slightly from the eta that
+                # scheduled this event.  Stream the tail out rather than
+                # waiting for an event that may never come — unless the
+                # tail is so small that its ETA cannot advance the clock,
+                # in which case the flow is done for all purposes.
+                flow.epoch += 1
+                t = flow.eta(when)
+                advances = t > when + 1e-12 * max(1.0, abs(when))
+                if t != math.inf and advances:
+                    self._schedule(t, self._make_completion(
+                        flow, flow.epoch, t))
+                    return
+                flow.remaining = 0.0
+            self._remove(flow)
+            self._recompute_component(flow, when)
+            flow.on_complete(when)
+        return fire
+
+    def _remove(self, flow: Flow) -> None:
+        self._active.discard(flow)
+        for r in flow.route:
+            s = self._res_flows.get(r)
+            if s is not None:
+                s.discard(flow)
+                if not s:
+                    del self._res_flows[r]

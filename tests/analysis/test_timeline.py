@@ -1,0 +1,122 @@
+"""Tests for the trace timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_timeline, utilization
+from repro.core import api
+from repro.core.context import CollContext
+from repro.extensions import pipelined_bcast
+from repro.sim import LinearArray, Machine, UNIT
+
+
+def traced(p, prog, *args):
+    machine = Machine(LinearArray(p), UNIT, trace=True)
+    return machine.run(prog, *args)
+
+
+class TestRenderTimeline:
+    def test_simple_send_shows_directions(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(100, dtype=np.uint8))
+            elif env.rank == 1:
+                yield env.recv(0)
+
+        run = traced(3, prog)
+        text = render_timeline(run.trace, 3, width=20)
+        lines = text.splitlines()
+        assert ">" in lines[1] and "<" not in lines[1]   # node 0 sends
+        assert "<" in lines[2] and ">" not in lines[2]   # node 1 recvs
+        assert set(lines[3].split("|")[1]) == {"."}      # node 2 idle
+
+    def test_simultaneous_send_recv_marked_x(self):
+        def prog(env):
+            p = env.nranks
+            s = env.isend((env.rank + 1) % p, np.zeros(64, dtype=np.uint8))
+            r = env.irecv((env.rank - 1) % p)
+            yield env.waitall(s, r)
+
+        run = traced(4, prog)
+        text = render_timeline(run.trace, 4, width=16)
+        for line in text.splitlines()[1:]:
+            assert "x" in line
+
+    def test_empty_trace(self):
+        def prog(env):
+            yield env.delay(1)
+
+        run = traced(2, prog)
+        assert render_timeline(run.trace, 2) == "(no traffic)"
+
+    def test_pipeline_staircase_visible(self):
+        """The pipelined broadcast's wavefront: each node starts
+        strictly later than its predecessor."""
+        n, k = 240, 6
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = np.arange(n, dtype=np.float64) if env.rank == 0 else None
+            return (yield from pipelined_bcast(ctx, buf, root=0,
+                                               total=n, chunks=k))
+
+        run = traced(5, prog)
+        firsts = {}
+        for rec in run.trace.completed():
+            firsts.setdefault(rec.src, rec.t_match)
+            firsts[rec.src] = min(firsts[rec.src], rec.t_match)
+        starts = [firsts[i] for i in range(4)]  # node 4 never sends
+        assert starts == sorted(starts)
+        assert starts[0] < starts[1] < starts[2]
+
+    def test_node_subset(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(8, dtype=np.uint8))
+            elif env.rank == 1:
+                yield env.recv(0)
+
+        run = traced(4, prog)
+        text = render_timeline(run.trace, 4, nodes=[1])
+        assert "node 1" in text
+        assert "node 0" not in text
+
+
+class TestUtilization:
+    def test_idle_node_zero(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(50, dtype=np.uint8))
+            elif env.rank == 1:
+                yield env.recv(0)
+
+        run = traced(3, prog)
+        u = utilization(run.trace, 3)
+        assert u[2] == 0.0
+        assert u[0] == pytest.approx(1.0)
+
+    def test_bucket_collect_is_fully_utilized(self):
+        """Every rank sends and receives in every round: utilization
+        near 1 everywhere — the bucket algorithms' selling point."""
+        from repro.core.primitives_long import bucket_collect
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from bucket_collect(ctx, np.zeros(64)))
+
+        run = traced(6, prog)
+        u = utilization(run.trace, 6)
+        assert all(v > 0.9 for v in u)
+
+    def test_mst_bcast_has_idle_tail_ranks(self):
+        """Tree algorithms leave late leaves mostly idle — the contrast
+        that motivates the hybrids."""
+        def prog(env):
+            buf = np.zeros(512) if env.rank == 0 else None
+            out = yield from api.bcast(env, buf, total=512,
+                                       algorithm="short")
+            return out is not None
+
+        run = traced(16, prog)
+        u = utilization(run.trace, 16)
+        assert min(u) < 0.5 < max(u)

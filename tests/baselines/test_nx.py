@@ -1,0 +1,272 @@
+"""Tests for the NX-style baselines and the NXtoiCC interface."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (NXInterface, nx_bcast, nx_collect,
+                             nx_collect_dissemination, nx_gather,
+                             nx_gdsum, nx_reduce)
+from repro.core.context import CollContext
+from repro.sim import LinearArray, Machine, Mesh2D, PARAGON, UNIT
+
+
+def run_linear(p, prog, *args, params=UNIT, **kw):
+    return Machine(LinearArray(p), params).run(prog, *args, **kw)
+
+
+class TestNxBcast:
+    @pytest.mark.parametrize("p,root", [(1, 0), (2, 1), (5, 0), (8, 3),
+                                        (13, 12), (30, 7)])
+    def test_correct(self, p, root):
+        n = 16
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == root else None
+            return (yield from nx_bcast(ctx, buf, root=root))
+
+        run = run_linear(p, prog)
+        for res in run.results:
+            assert np.array_equal(res, x)
+
+    def test_binomial_round_count(self):
+        """ceil(log2 p) rounds of full-vector sends."""
+        p, n = 16, 8
+        params = UNIT.with_(link_capacity=100.0)  # suppress conflicts
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = np.zeros(n) if env.rank == 0 else None
+            return (yield from nx_bcast(ctx, buf, root=0, copy_factor=1.0))
+
+        t = run_linear(p, prog, params=params).time
+        assert t == pytest.approx(math.ceil(math.log2(p)) * (1 + n * 8))
+
+    def test_copy_factor_doubles_wire_time(self):
+        p, n = 8, 32
+        params = UNIT.with_(link_capacity=100.0)
+
+        def prog(env, cf):
+            ctx = CollContext(env)
+            buf = np.zeros(n) if env.rank == 0 else None
+            return (yield from nx_bcast(ctx, buf, root=0, copy_factor=cf))
+
+        t1 = run_linear(p, prog, 1.0, params=params).time
+        t2 = run_linear(p, prog, 2.0, params=params).time
+        L = 3
+        assert t2 - t1 == pytest.approx(L * n * 8)
+
+    def test_overhead_charged_once(self):
+        params = UNIT.with_(sw_overhead=100.0, link_capacity=100.0)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = np.zeros(2) if env.rank == 0 else None
+            return (yield from nx_bcast(ctx, buf, root=0, copy_factor=1.0))
+
+        t = run_linear(8, prog, params=params).time
+        # 3 rounds of (1 + 16) + one 100 overhead (all ranks, parallel)
+        assert t == pytest.approx(100 + 3 * 17)
+
+
+class TestNxReduceAndGdsum:
+    @pytest.mark.parametrize("p,root", [(1, 0), (2, 0), (6, 2), (8, 0),
+                                        (13, 5)])
+    def test_reduce_correct(self, p, root):
+        n = 8
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(n, float(env.rank + 1))
+            return (yield from nx_reduce(ctx, v, op="sum", root=root))
+
+        run = run_linear(p, prog)
+        assert np.allclose(run.results[root], p * (p + 1) / 2)
+        for i, r in enumerate(run.results):
+            if i != root:
+                assert r is None
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16, 30])
+    def test_gdsum_correct(self, p):
+        n = 12
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(n, float(env.rank + 1))
+            return (yield from nx_gdsum(ctx, v))
+
+        run = run_linear(p, prog)
+        for res in run.results:
+            assert np.allclose(res, p * (p + 1) / 2)
+
+    def test_gdsum_full_vector_both_ways(self):
+        """Fan-in + fan-out of the whole vector: 2 L (alpha + n beta)
+        plus L n gamma, with no copy inflation."""
+        p, n = 8, 16
+        params = UNIT.with_(link_capacity=100.0)
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from nx_gdsum(ctx, np.zeros(n),
+                                        copy_factor=1.0))
+
+        t = run_linear(p, prog, params=params).time
+        L = 3
+        assert t == pytest.approx(2 * L * (1 + n * 8) + L * n)
+
+
+class TestNxCollect:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 13, 30])
+    def test_correct(self, p):
+        nb = 5
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(nb, float(env.rank))
+            return (yield from nx_collect(ctx, mine))
+
+        run = run_linear(p, prog)
+        ref = np.concatenate([np.full(nb, float(i)) for i in range(p)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+    def test_uneven_blocks(self):
+        sizes = [2, 0, 4, 1, 3]
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(sizes[env.rank], float(env.rank))
+            return (yield from nx_collect(ctx, mine, sizes=sizes))
+
+        run = run_linear(5, prog)
+        ref = np.concatenate([np.full(s, float(i))
+                              for i, s in enumerate(sizes)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+    def test_ring_round_count(self):
+        """The ring gcolx costs p - 1 sequential rounds — the Table 3
+        smoking gun for 8-byte collects."""
+        p, nb = 8, 2
+        params = UNIT.with_(link_capacity=100.0)
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from nx_collect(ctx, np.zeros(nb),
+                                          copy_factor=1.0))
+
+        run = run_linear(p, prog, params=params)
+        expect = (p - 1) * (1 + nb * 8)
+        assert run.time == pytest.approx(expect)
+
+    def test_dissemination_variant_log_rounds(self):
+        """The strongest-baseline ablation: ceil(log2 p) rounds."""
+        p, nb = 8, 2
+        params = UNIT.with_(link_capacity=100.0)
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from nx_collect_dissemination(
+                ctx, np.zeros(nb), copy_factor=1.0))
+
+        run = run_linear(p, prog, params=params)
+        # rounds move 1, 2, 4 blocks of nb doubles
+        expect = sum(1 + k * nb * 8 for k in (1, 2, 4))
+        assert run.time == pytest.approx(expect)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 13])
+    def test_dissemination_correct(self, p):
+        nb = 3
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(nb, float(env.rank))
+            return (yield from nx_collect_dissemination(ctx, mine))
+
+        run = run_linear(p, prog)
+        ref = np.concatenate([np.full(nb, float(i)) for i in range(p)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+
+class TestNxGather:
+    @pytest.mark.parametrize("p,root", [(2, 0), (5, 3), (9, 0)])
+    def test_correct(self, p, root):
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(3, float(env.rank))
+            return (yield from nx_gather(ctx, mine, root=root))
+
+        run = run_linear(p, prog)
+        ref = np.concatenate([np.full(3, float(i)) for i in range(p)])
+        assert np.array_equal(run.results[root], ref)
+
+    def test_root_ejection_is_the_bottleneck(self):
+        p, nb = 5, 100
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from nx_gather(ctx, np.zeros(nb),
+                                         copy_factor=1.0))
+
+        t = run_linear(p, prog).time
+        # four concurrent senders share the root's ejection port
+        assert t >= 4 * nb * 8
+
+
+class TestNXInterface:
+    def test_modes_agree_on_results(self):
+        m = Machine(Mesh2D(4, 4), PARAGON)
+
+        def prog(env, mode):
+            nxif = NXInterface(env, mode=mode)
+            v = np.arange(64, dtype=np.float64) + env.rank
+            s = yield from nxif.gdsum(v)
+            c = yield from nxif.gcolx(np.full(4, float(env.rank)))
+            mx = yield from nxif.gdhigh(v)
+            mn = yield from nxif.gdlow(v)
+            pr = yield from nxif.gisum(np.ones(3, dtype=np.int64))
+            return (float(s[7]), float(c[-1]), float(mx[0]),
+                    float(mn[0]), int(pr[0]))
+
+        nx = m.run(prog, "nx")
+        icc = m.run(prog, "icc")
+        assert nx.results == icc.results
+
+    def test_icc_mode_wins_for_long_vectors(self):
+        m = Machine(Mesh2D(4, 8), PARAGON)
+
+        def prog(env, mode):
+            nxif = NXInterface(env, mode=mode)
+            v = np.zeros(32768)
+            yield from nxif.gdsum(v)
+
+        t_nx = m.run(prog, "nx").time
+        t_icc = m.run(prog, "icc").time
+        assert t_icc < t_nx
+
+    def test_bcast_and_sync(self):
+        m = Machine(LinearArray(6), UNIT)
+
+        def prog(env):
+            nxif = NXInterface(env, mode="nx")
+            x = np.arange(8.0) if env.rank == 0 else None
+            x = yield from nxif.icc_bcast(x, root=0, total=8)
+            yield from nxif.gsync()
+            return float(x[3])
+
+        run = m.run(prog)
+        assert all(v == 3.0 for v in run.results)
+
+    def test_bad_mode_rejected(self):
+        m = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            NXInterface(env, mode="mpi")
+            yield env.delay(0)
+
+        with pytest.raises(ValueError, match="'nx' or 'icc'"):
+            m.run(prog)

@@ -1,0 +1,186 @@
+"""Tests for the alternating-direction bucket primitives (section 7.1,
+reference [3])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, partition_offsets
+from repro.core.bidirectional import (bidirectional_collect,
+                                      bidirectional_reduce_scatter)
+from repro.core.context import CollContext
+from repro.core.primitives_long import bucket_collect
+from repro.sim import Machine, Ring, UNIT
+
+
+def run_ring(p, prog, *args, params=UNIT, **kw):
+    return Machine(Ring(p), params).run(prog, *args, **kw)
+
+
+class TestBidirectionalCollect:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 13, 30])
+    def test_correct(self, p):
+        nb = 6
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(nb, float(env.rank))
+            return (yield from bidirectional_collect(ctx, mine))
+
+        run = run_ring(p, prog)
+        ref = np.concatenate([np.full(nb, float(i)) for i in range(p)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+    def test_uneven_blocks(self):
+        sizes = [3, 0, 2, 5, 1]
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(sizes[env.rank], float(env.rank))
+            return (yield from bidirectional_collect(ctx, mine,
+                                                     sizes=sizes))
+
+        run = run_ring(5, prog)
+        ref = np.concatenate([np.full(s, float(i))
+                              for i, s in enumerate(sizes)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+    @pytest.mark.parametrize("p", [5, 8, 13, 30])
+    def test_half_the_startup_rounds(self, p):
+        """ceil((p-1)/2) rounds instead of p-1: with negligible beta the
+        elapsed time must be about half the unidirectional version."""
+        params = UNIT.with_(beta=1e-12, gamma=0)
+        nb = 4
+
+        def bi(env):
+            ctx = CollContext(env)
+            return (yield from bidirectional_collect(ctx, np.zeros(nb)))
+
+        def uni(env):
+            ctx = CollContext(env)
+            return (yield from bucket_collect(ctx, np.zeros(nb)))
+
+        t_bi = run_ring(p, bi, params=params).time
+        t_uni = run_ring(p, uni, params=params).time
+        assert t_bi == pytest.approx(((p - 1 + 1) // 2), rel=1e-3)
+        assert t_uni == pytest.approx(p - 1, rel=1e-3)
+
+    def test_cost_model_agrees_on_ring(self):
+        p, nb = 8, 16
+        cm = CostModel(UNIT, itemsize=8)
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from bidirectional_collect(ctx, np.zeros(nb)))
+
+        t = run_ring(p, prog).time
+        # the port carries two blocks per round
+        predicted = cm.bidirectional_collect(p, nb * p)
+        assert t == pytest.approx(predicted, rel=0.05)
+
+    def test_size_mismatch_rejected(self):
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from bidirectional_collect(ctx, np.zeros(3),
+                                                     sizes=[2, 2]))
+
+        with pytest.raises(ValueError):
+            run_ring(2, prog)
+
+
+class TestBidirectionalReduceScatter:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 13, 30])
+    def test_correct_sum(self, p):
+        nb = 3
+        n = nb * p
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64) * (env.rank + 1)
+            return (yield from bidirectional_reduce_scatter(ctx, v,
+                                                            "sum"))
+
+        run = run_ring(p, prog)
+        full = np.arange(n, dtype=np.float64) * (p * (p + 1) / 2)
+        for i, res in enumerate(run.results):
+            assert np.allclose(res, full[i * nb:(i + 1) * nb]), (p, i)
+
+    @pytest.mark.parametrize("op,expect", [("min", 1.0), ("max", 7.0),
+                                           ("prod", 5040.0)])
+    def test_non_invertible_ops(self, op, expect):
+        """min/max/prod have no inverse — the arc construction must not
+        double-count any rank's contribution."""
+        p = 7
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(p, float(env.rank + 1))
+            return (yield from bidirectional_reduce_scatter(ctx, v, op))
+
+        run = run_ring(p, prog)
+        for res in run.results:
+            assert np.allclose(res, expect)
+
+    def test_contribution_counted_exactly_once(self):
+        """Summing rank ids: any double-count would shift the result."""
+        p, nb = 6, 2
+        n = nb * p
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(n, float(env.rank))
+            return (yield from bidirectional_reduce_scatter(ctx, v,
+                                                            "sum"))
+
+        run = run_ring(p, prog)
+        for res in run.results:
+            assert np.allclose(res, sum(range(p)))
+
+    @pytest.mark.parametrize("p", [5, 9, 16])
+    def test_half_the_startup_rounds(self, p):
+        params = UNIT.with_(beta=1e-12, gamma=0)
+        n = 4 * p
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from bidirectional_reduce_scatter(
+                ctx, np.zeros(n), "sum"))
+
+        t = run_ring(p, prog, params=params).time
+        assert t <= ((p - 1 + 1) // 2) + 1e-6
+
+    def test_uneven_partition(self):
+        sizes = [4, 1, 0, 3, 2]
+        n = sum(sizes)
+        offs = partition_offsets(sizes)
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64) + env.rank
+            return (yield from bidirectional_reduce_scatter(
+                ctx, v, "sum", sizes=sizes))
+
+        run = run_ring(5, prog)
+        full = np.arange(n, dtype=np.float64) * 5 + sum(range(5))
+        for i, res in enumerate(run.results):
+            assert np.allclose(res, full[offs[i]:offs[i + 1]])
+
+    @given(p=st.integers(1, 14), nb=st.integers(1, 5),
+           seed=st.integers(0, 999))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle_random(self, p, nb, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-10, 10, size=(p, nb * p)).astype(float)
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from bidirectional_reduce_scatter(
+                ctx, data[env.rank].copy(), "sum"))
+
+        run = run_ring(p, prog)
+        total = data.sum(axis=0)
+        for i, res in enumerate(run.results):
+            assert np.allclose(res, total[i * nb:(i + 1) * nb])

@@ -1,0 +1,311 @@
+"""Tests for the hybrid executor (the Figure 3 template): all five
+operation families, arbitrary strategies, uneven lengths, and the
+Figure 1 staging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Strategy, partition_sizes
+from repro.core.context import CollContext
+from repro.core.hybrid import (hybrid_allreduce, hybrid_bcast,
+                               hybrid_collect, hybrid_reduce,
+                               hybrid_reduce_scatter)
+from repro.sim import LinearArray, Machine, UNIT
+
+from .conftest import run_linear
+
+BCAST_CASES = [
+    (12, (2, 2, 3), "SSMCC"),
+    (12, (3, 4), "SMC"),
+    (12, (3, 4), "SSCC"),
+    (12, (12,), "M"),
+    (12, (12,), "SC"),
+    (30, (2, 3, 5), "SSMCC"),
+    (30, (5, 6), "SSCC"),
+    (30, (2, 15), "SMC"),
+    (8, (2, 2, 2), "SSSCCC"),
+    (6, (6,), "SMC"[1:]),  # (6,) "MC" is invalid -> replaced below
+]
+BCAST_CASES[-1] = (6, (2, 3), "SMC")
+
+
+class TestHybridBcast:
+    @pytest.mark.parametrize("p,dims,ops", BCAST_CASES)
+    def test_correct_even_length(self, p, dims, ops):
+        s = Strategy(dims, ops)
+        n = 2 * p
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == 0 else None
+            return (yield from hybrid_bcast(ctx, buf, 0, s, total=n))
+
+        run = run_linear(p, prog)
+        for res in run.results:
+            assert np.array_equal(res, x)
+
+    @pytest.mark.parametrize("root", [0, 1, 5, 11])
+    def test_any_root(self, root):
+        s = Strategy((2, 2, 3), "SSMCC")
+        n = 60
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == root else None
+            return (yield from hybrid_bcast(ctx, buf, root, s, total=n))
+
+        run = run_linear(12, prog)
+        for res in run.results:
+            assert np.array_equal(res, x)
+
+    @pytest.mark.parametrize("n", [1, 5, 11, 59, 61, 121])
+    def test_uneven_lengths(self, n):
+        s = Strategy((3, 4), "SMC")
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == 7 else None
+            return (yield from hybrid_bcast(ctx, buf, 7, s, total=n))
+
+        run = run_linear(12, prog)
+        for res in run.results:
+            assert np.array_equal(res, x)
+
+    def test_strategy_must_cover_group(self):
+        s = Strategy((2, 3), "SMC")
+
+        def prog(env):
+            ctx = CollContext(env)
+            return (yield from hybrid_bcast(ctx, np.zeros(4), 0, s,
+                                            total=4))
+
+        with pytest.raises(ValueError, match="covers 6"):
+            run_linear(12, prog)
+
+    def test_needs_total_off_root(self):
+        s = Strategy((2, 2), "SSCC")
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = np.zeros(8) if env.rank == 0 else None
+            return (yield from hybrid_bcast(ctx, buf, 0, s))
+
+        with pytest.raises(ValueError, match="total"):
+            run_linear(4, prog)
+
+    def test_figure1_staging(self):
+        """Figure 1: 12 nodes as 2x2x3 SSMCC — scatters in consecutive
+        pairs first, then stride-2 pairs, MST in stride-4 triples, then
+        collects back out.  Verify the message pattern per stage."""
+        s = Strategy((2, 2, 3), "SSMCC")
+        n = 12
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == 0 else None
+            return (yield from hybrid_bcast(ctx, buf, 0, s, total=n))
+
+        machine = Machine(LinearArray(12), UNIT, trace=True)
+        run = machine.run(prog)
+        recs = sorted(run.trace.completed(), key=lambda r: r.t_match)
+        # stage 1: one scatter send inside the root's pair (0 -> 1)
+        assert (recs[0].src, recs[0].dst) == (0, 1)
+        # stage 2: scatter at stride 2 (0->2 and 1->3)
+        stage2 = {(r.src, r.dst) for r in recs[1:3]}
+        assert stage2 == {(0, 2), (1, 3)}
+        # stages 3-4: MST broadcasts within stride-4 triples from 0..3
+        mst = {(r.src, r.dst) for r in recs[3:11]}
+        assert mst == {(0, 8), (1, 9), (2, 10), (3, 11),
+                       (0, 4), (1, 5), (2, 6), (3, 7)} or len(mst) == 8
+        # total messages: 1 + 2 + 8 + 12 + 12 (collect rounds: 1 per
+        # stride-2 pair then 1 per pair)
+        assert run.trace.message_count() == 1 + 2 + 8 + 12 + 12
+
+
+class TestHybridReduce:
+    @pytest.mark.parametrize("p,dims,ops,root", [
+        (12, (2, 2, 3), "SSMCC", 0),
+        (12, (3, 4), "SSCC", 5),
+        (12, (12,), "M", 11),
+        (12, (12,), "SC", 3),
+        (30, (2, 3, 5), "SSMCC", 29),
+        (30, (5, 6), "SMC", 7),
+    ])
+    def test_correct(self, p, dims, ops, root):
+        s = Strategy(dims, ops)
+        n = 2 * p
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64) * (env.rank + 1)
+            return (yield from hybrid_reduce(ctx, v, "sum", root, s))
+
+        run = run_linear(p, prog)
+        ref = np.arange(n, dtype=np.float64) * (p * (p + 1) / 2)
+        assert np.allclose(run.results[root], ref)
+        for i, res in enumerate(run.results):
+            if i != root:
+                assert res is None
+
+    def test_min_op(self):
+        s = Strategy((2, 3), "SMC")
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(12, float(env.rank))
+            return (yield from hybrid_reduce(ctx, v, "min", 2, s))
+
+        run = run_linear(6, prog)
+        assert np.allclose(run.results[2], 0.0)
+
+
+class TestHybridAllreduce:
+    @pytest.mark.parametrize("p,dims,ops", [
+        (12, (2, 2, 3), "SSMCC"),
+        (12, (3, 4), "SSCC"),
+        (12, (2, 6), "SMC"),
+        (12, (12,), "M"),
+        (12, (12,), "SC"),
+        (30, (5, 6), "SSCC"),
+    ])
+    def test_correct(self, p, dims, ops):
+        s = Strategy(dims, ops)
+        n = 2 * p + 1
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64) * (env.rank + 1)
+            return (yield from hybrid_allreduce(ctx, v, "sum", s))
+
+        run = run_linear(p, prog)
+        ref = np.arange(n, dtype=np.float64) * (p * (p + 1) / 2)
+        for res in run.results:
+            assert np.allclose(res, ref)
+
+
+class TestHybridCollect:
+    @pytest.mark.parametrize("p,dims,ops", [
+        (12, (2, 2, 3), "CCC"),
+        (12, (3, 4), "MC"),
+        (12, (4, 3), "CC"),
+        (12, (12,), "C"),
+        (12, (12,), "M"),
+        (30, (2, 15), "MC"),
+        (30, (5, 6), "CC"),
+    ])
+    def test_correct(self, p, dims, ops):
+        s = Strategy(dims, ops)
+        nb = 3
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(nb, float(env.rank))
+            return (yield from hybrid_collect(ctx, mine, s))
+
+        run = run_linear(p, prog)
+        ref = np.concatenate([np.full(nb, float(i)) for i in range(p)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+    def test_uneven_blocks(self):
+        s = Strategy((2, 3), "CC")
+        sizes = [1, 4, 0, 2, 3, 5]
+
+        def prog(env):
+            ctx = CollContext(env)
+            mine = np.full(sizes[env.rank], float(env.rank))
+            return (yield from hybrid_collect(ctx, mine, s, sizes=sizes))
+
+        run = run_linear(6, prog)
+        ref = np.concatenate([np.full(sz, float(i))
+                              for i, sz in enumerate(sizes)])
+        for res in run.results:
+            assert np.array_equal(res, ref)
+
+
+class TestHybridReduceScatter:
+    @pytest.mark.parametrize("p,dims,ops", [
+        (12, (2, 2, 3), "SSS"),
+        (12, (3, 4), "SM"),
+        (12, (4, 3), "SS"),
+        (12, (12,), "S"),
+        (12, (12,), "M"),
+        (30, (2, 15), "SM"),
+        (30, (5, 6), "SS"),
+    ])
+    def test_correct(self, p, dims, ops):
+        s = Strategy(dims, ops)
+        nb = 3
+        n = nb * p
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64) * (env.rank + 1)
+            return (yield from hybrid_reduce_scatter(ctx, v, "sum", s))
+
+        run = run_linear(p, prog)
+        full = np.arange(n, dtype=np.float64) * (p * (p + 1) / 2)
+        for i, res in enumerate(run.results):
+            assert np.allclose(res, full[i * nb:(i + 1) * nb])
+
+    def test_uneven_partition(self):
+        s = Strategy((2, 3), "SS")
+        sizes = [1, 4, 0, 2, 3, 5]
+        n = sum(sizes)
+        from repro.core import partition_offsets
+        offs = partition_offsets(sizes)
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.arange(n, dtype=np.float64)
+            return (yield from hybrid_reduce_scatter(ctx, v, "sum", s,
+                                                     sizes=sizes))
+
+        run = run_linear(6, prog)
+        full = np.arange(n, dtype=np.float64) * 6
+        for i, res in enumerate(run.results):
+            assert np.allclose(res, full[offs[i]:offs[i + 1]])
+
+
+class TestPropertyBased:
+    @given(data=st.data(), n=st.integers(1, 80))
+    @settings(max_examples=40, deadline=None)
+    def test_random_smc_strategy_bcast(self, data, n):
+        """Any valid strategy over any factorization broadcasts
+        correctly with any root and any length."""
+        from repro.core import smc_candidates
+        p = data.draw(st.sampled_from([6, 8, 12, 18, 24, 30]))
+        s = data.draw(st.sampled_from(smc_candidates(p)))
+        root = data.draw(st.integers(0, p - 1))
+        x = np.arange(n, dtype=np.float64)
+
+        def prog(env):
+            ctx = CollContext(env)
+            buf = x.copy() if env.rank == root else None
+            return (yield from hybrid_bcast(ctx, buf, root, s, total=n))
+
+        run = run_linear(p, prog)
+        assert all(np.array_equal(r, x) for r in run.results)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_allreduce_matches_oracle(self, data):
+        from repro.core import smc_candidates
+        p = data.draw(st.sampled_from([4, 6, 12, 16]))
+        s = data.draw(st.sampled_from(smc_candidates(p)))
+        n = data.draw(st.integers(1, 40))
+
+        def prog(env):
+            ctx = CollContext(env)
+            v = np.full(n, float(env.rank + 1))
+            return (yield from hybrid_allreduce(ctx, v, "sum", s))
+
+        run = run_linear(p, prog)
+        for res in run.results:
+            assert np.allclose(res, p * (p + 1) / 2)

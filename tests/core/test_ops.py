@@ -1,0 +1,80 @@
+"""Tests for combine operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import MAX, MIN, PROD, STANDARD_OPS, SUM, CombineOp, get_op
+
+
+class TestCombineOp:
+    def test_sum(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        assert np.array_equal(SUM(a, b), [4.0, 6.0])
+
+    def test_min_max(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 4.0])
+        assert np.array_equal(MIN(a, b), [1.0, 4.0])
+        assert np.array_equal(MAX(a, b), [3.0, 5.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            SUM(np.zeros(3), np.zeros(4))
+
+    def test_inputs_not_mutated(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        SUM(a, b)
+        assert np.array_equal(a, [1.0, 2.0])
+        assert np.array_equal(b, [3.0, 4.0])
+
+    def test_reduce_all_matches_numpy(self):
+        arrays = [np.arange(4.0) * k for k in range(1, 6)]
+        assert np.allclose(SUM.reduce_all(arrays),
+                           np.sum(arrays, axis=0))
+        assert np.allclose(PROD.reduce_all(arrays),
+                           np.prod(arrays, axis=0))
+
+    def test_reduce_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.reduce_all([])
+
+    def test_custom_op(self):
+        absmax = CombineOp("absmax", lambda a, b: np.maximum(np.abs(a),
+                                                             np.abs(b)))
+        out = absmax(np.array([-5.0, 1.0]), np.array([2.0, -3.0]))
+        assert np.array_equal(out, [5.0, 3.0])
+
+    @given(hnp.arrays(np.float64, 8,
+                      elements=st.floats(-100, 100)),
+           hnp.arrays(np.float64, 8,
+                      elements=st.floats(-100, 100)))
+    @settings(max_examples=30, deadline=None)
+    def test_commutativity(self, a, b):
+        for op in (SUM, MIN, MAX):
+            assert np.array_equal(op(a, b), op(b, a))
+
+
+class TestGetOp:
+    def test_by_name(self):
+        assert get_op("sum") is SUM
+        assert get_op("prod") is PROD
+
+    def test_passthrough(self):
+        assert get_op(SUM) is SUM
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown combine op"):
+            get_op("xor-ish")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            get_op(42)
+
+    def test_standard_ops_registry_consistent(self):
+        for name, op in STANDARD_OPS.items():
+            assert op.name == name

@@ -1,0 +1,134 @@
+"""Tests for persistent collective plans."""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.core.plans import Plan, make_plan
+from repro.sim import LinearArray, Machine, PARAGON, UNIT
+
+from .conftest import run_linear
+
+
+class TestMakePlan:
+    def test_plan_resolves_auto_strategy(self):
+        def prog(env):
+            plan = make_plan(env, "bcast", 8192)
+            yield env.delay(0)
+            return str(plan.strategy)
+
+        res = run_linear(12, prog, params=PARAGON).results
+        assert len(set(res)) == 1  # all ranks agree
+        assert res[0] != "(12, M)"  # long vector: not the pure MST
+
+    def test_unknown_operation(self):
+        def prog(env):
+            make_plan(env, "gossip", 10)
+            yield env.delay(0)
+
+        with pytest.raises(KeyError):
+            run_linear(4, prog)
+
+    def test_explicit_strategy_validated(self):
+        def prog(env):
+            make_plan(env, "collect", 12, algorithm=Strategy((3, 4), "SC"))
+            yield env.delay(0)
+
+        with pytest.raises(ValueError):
+            run_linear(12, prog)
+
+    def test_strategy_group_size_mismatch(self):
+        def prog(env):
+            make_plan(env, "bcast", 12,
+                      algorithm=Strategy((2, 3), "SMC"))
+            yield env.delay(0)
+
+        with pytest.raises(ValueError, match="covers 6"):
+            run_linear(12, prog)
+
+
+class TestPlanExecution:
+    def test_bcast_plan_repeated(self):
+        n = 24
+
+        def prog(env):
+            plan = make_plan(env, "bcast", n, root=1)
+            outs = []
+            for k in range(3):
+                buf = (np.arange(n, dtype=np.float64) * (k + 1)
+                       if env.rank == 1 else None)
+                out = yield from plan(buf)
+                outs.append(float(out[-1]))
+            return outs
+
+        res = run_linear(6, prog).results
+        for r in res:
+            assert r == [23.0, 46.0, 69.0]
+
+    def test_allreduce_plan(self):
+        n = 16
+
+        def prog(env):
+            plan = make_plan(env, "allreduce", n, op="max")
+            out = yield from plan(np.full(n, float(env.rank)))
+            return float(out[0])
+
+        res = run_linear(7, prog).results
+        assert all(v == 6.0 for v in res)
+
+    def test_reduce_scatter_plan(self):
+        p, nb = 4, 3
+        n = p * nb
+
+        def prog(env):
+            plan = make_plan(env, "reduce_scatter", n)
+            out = yield from plan(np.full(n, 1.0))
+            return out.tolist()
+
+        res = run_linear(p, prog).results
+        for r in res:
+            assert r == [4.0] * nb
+
+    def test_collect_plan(self):
+        p, nb = 5, 2
+        n = p * nb
+
+        def prog(env):
+            plan = make_plan(env, "collect", n)
+            out = yield from plan(np.full(nb, float(env.rank)))
+            return float(out.sum())
+
+        res = run_linear(p, prog).results
+        assert all(v == nb * sum(range(p)) for v in res)
+
+    def test_plan_matches_unplanned_time(self):
+        """Planning must not change the communication cost — the same
+        strategy runs either way."""
+        n = 4096
+
+        def planned(env):
+            plan = make_plan(env, "allreduce", n)
+            yield from plan(np.zeros(n))
+
+        def direct(env):
+            from repro.core import api
+            yield from api.allreduce(env, np.zeros(n))
+
+        t1 = run_linear(8, planned, params=PARAGON).time
+        t2 = run_linear(8, direct, params=PARAGON).time
+        assert t1 == pytest.approx(t2)
+
+    def test_plan_on_subgroup(self):
+        group = [1, 3, 5, 7]
+
+        def prog(env):
+            if env.rank not in group:
+                yield env.delay(0)
+                return None
+            plan = make_plan(env, "allreduce", 8, group=group)
+            out = yield from plan(np.full(8, float(env.rank)))
+            return float(out[0])
+
+        res = run_linear(8, prog).results
+        assert res[1] == 1 + 3 + 5 + 7
+        assert res[0] is None

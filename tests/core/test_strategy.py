@@ -1,0 +1,155 @@
+"""Tests for hybrid strategy descriptors and enumeration (section 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (Strategy, collect_candidates, mst_strategy,
+                        ordered_factorizations, reduce_scatter_candidates,
+                        scatter_collect_strategy, smc_candidates)
+
+
+class TestStrategy:
+    def test_paper_notation(self):
+        s = Strategy((2, 3, 5), "SSMCC")
+        assert str(s) == "(2x3x5, SSMCC)"
+        assert s.p == 30
+        assert s.nscatter == 2
+        assert s.ncollect == 2
+        assert s.has_kernel
+
+    def test_strides(self):
+        s = Strategy((2, 3, 5), "SSMCC")
+        assert [s.stride(i) for i in range(3)] == [1, 2, 6]
+
+    def test_parse(self):
+        s = Strategy.parse("2x3x5:SSMCC")
+        assert s == Strategy((2, 3, 5), "SSMCC")
+        assert Strategy.parse("(30, M)") == Strategy((30,), "M")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Strategy.parse("30 nodes please")
+
+    def test_bad_ops_rejected(self):
+        with pytest.raises(ValueError, match="S\\*M\\?C\\*"):
+            Strategy((4,), "CMS")
+        with pytest.raises(ValueError):
+            Strategy((4,), "MM")
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy((), "M")
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy((0, 4), "SC")
+
+
+class TestFamilyValidation:
+    def test_smc_family_accepts(self):
+        Strategy((30,), "M").check_smc()
+        Strategy((30,), "SC").check_smc()
+        Strategy((2, 15), "SMC").check_smc()
+        Strategy((2, 3, 5), "SSMCC").check_smc()
+        Strategy((5, 6), "SSCC").check_smc()
+
+    def test_smc_family_rejects(self):
+        with pytest.raises(ValueError):
+            Strategy((2, 3, 5), "SSCC").check_smc()  # dims/ops mismatch
+        with pytest.raises(ValueError):
+            Strategy((2, 15), "SMCC").check_smc()    # unbalanced
+        with pytest.raises(ValueError):
+            Strategy((4,), "").check_smc()
+
+    def test_collect_family(self):
+        Strategy((4, 8), "CC").check_collect()
+        Strategy((4, 8), "MC").check_collect()
+        Strategy((32,), "M").check_collect()
+        with pytest.raises(ValueError):
+            Strategy((4, 8), "SC").check_collect()
+        with pytest.raises(ValueError):
+            Strategy((4, 8), "CM").check_collect()  # kernel not innermost
+
+    def test_reduce_scatter_family(self):
+        Strategy((4, 8), "SS").check_reduce_scatter()
+        Strategy((4, 8), "SM").check_reduce_scatter()
+        Strategy((32,), "M").check_reduce_scatter()
+        with pytest.raises(ValueError):
+            Strategy((4, 8), "SC").check_reduce_scatter()
+        with pytest.raises(ValueError):
+            Strategy((4, 8), "MS").check_reduce_scatter()
+
+    def test_canonical_helpers(self):
+        assert mst_strategy(30) == Strategy((30,), "M")
+        assert scatter_collect_strategy(8) == Strategy((8,), "SC")
+
+
+class TestFactorizations:
+    def test_thirty(self):
+        facts = ordered_factorizations(30, 3)
+        assert (30,) in facts
+        assert (2, 15) in facts and (15, 2) in facts
+        assert (2, 3, 5) in facts and (5, 3, 2) in facts
+        assert (3, 10) in facts and (5, 6) in facts
+
+    def test_prime(self):
+        assert ordered_factorizations(13, 3) == ((13,),)
+
+    def test_max_factors_respected(self):
+        facts = ordered_factorizations(64, 2)
+        assert all(len(f) <= 2 for f in facts)
+        facts3 = ordered_factorizations(64, 3)
+        assert (4, 4, 4) in facts3
+
+    def test_min_factor_excludes_ones(self):
+        for f in ordered_factorizations(24, 3):
+            assert all(d >= 2 for d in f)
+
+    @given(st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_all_factorizations_multiply_to_p(self, p):
+        for dims in ordered_factorizations(p, 3):
+            assert math.prod(dims) == p
+
+    def test_one(self):
+        assert ordered_factorizations(1, 3) == ((1,),)
+
+
+class TestCandidateSets:
+    def test_smc_candidates_cover_table2(self):
+        cands = {(s.dims, s.ops) for s in smc_candidates(30)}
+        for dims, ops in [((30,), "M"), ((30,), "SC"), ((2, 15), "SMC"),
+                          ((2, 15), "SSCC"), ((3, 10), "SMC"),
+                          ((5, 6), "SSCC"), ((2, 3, 5), "SSMCC")]:
+            assert (dims, ops) in cands
+
+    def test_all_candidates_valid_and_unique(self):
+        for p in (12, 30, 64):
+            seen = set()
+            for s in smc_candidates(p):
+                s.check_smc()
+                assert s.p == p
+                key = (s.dims, s.ops)
+                assert key not in seen
+                seen.add(key)
+
+    def test_collect_candidates_valid(self):
+        for s in collect_candidates(24):
+            s.check_collect()
+            assert s.p == 24
+
+    def test_reduce_scatter_candidates_valid(self):
+        for s in reduce_scatter_candidates(24):
+            s.check_reduce_scatter()
+            assert s.p == 24
+
+    def test_prime_p_still_has_strategies(self):
+        """Section 6: prime node counts limit hybrids but the pure
+        algorithms must remain available."""
+        cands = smc_candidates(13)
+        ops = {(s.dims, s.ops) for s in cands}
+        assert ((13,), "M") in ops
+        assert ((13,), "SC") in ops

@@ -1,0 +1,66 @@
+"""Tests for the sequential oracles themselves (Table 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (ref_allreduce, ref_bcast, ref_collect,
+                                   ref_gather, ref_reduce,
+                                   ref_reduce_scatter, ref_scatter)
+
+
+class TestOracles:
+    def test_bcast(self):
+        x = np.arange(4.0)
+        out = ref_bcast(x, 3)
+        assert len(out) == 3
+        assert all(np.array_equal(o, x) for o in out)
+        out[0][0] = 99  # copies, not views
+        assert x[0] == 0
+
+    def test_scatter_balanced(self):
+        x = np.arange(10.0)
+        out = ref_scatter(x, 3)
+        assert [len(o) for o in out] == [4, 3, 3]
+        assert np.array_equal(np.concatenate(out), x)
+
+    def test_scatter_custom_sizes(self):
+        out = ref_scatter(np.arange(6.0), 3, sizes=[1, 2, 3])
+        assert [len(o) for o in out] == [1, 2, 3]
+
+    def test_scatter_bad_partition(self):
+        with pytest.raises(ValueError):
+            ref_scatter(np.arange(5.0), 2, sizes=[1, 2])
+
+    def test_gather(self):
+        blocks = [np.full(2, float(i)) for i in range(3)]
+        out = ref_gather(blocks, root=1)
+        assert out[0] is None and out[2] is None
+        assert np.array_equal(out[1], [0, 0, 1, 1, 2, 2])
+
+    def test_collect(self):
+        blocks = [np.array([1.0]), np.array([2.0, 3.0])]
+        out = ref_collect(blocks)
+        assert all(np.array_equal(o, [1.0, 2.0, 3.0]) for o in out)
+
+    def test_reduce(self):
+        vecs = [np.full(3, float(i)) for i in range(4)]
+        out = ref_reduce(vecs, "sum", root=2)
+        assert np.array_equal(out[2], [6.0, 6.0, 6.0])
+        assert out[0] is None
+
+    def test_allreduce_ops(self):
+        vecs = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
+        assert np.array_equal(ref_allreduce(vecs, "max")[0], [3.0, 5.0])
+        assert np.array_equal(ref_allreduce(vecs, "min")[1], [1.0, 2.0])
+        assert np.array_equal(ref_allreduce(vecs, "prod")[0], [3.0, 10.0])
+
+    def test_reduce_scatter(self):
+        vecs = [np.arange(6.0), np.arange(6.0)]
+        out = ref_reduce_scatter(vecs, "sum")
+        assert np.array_equal(np.concatenate(out), np.arange(6.0) * 2)
+        assert [len(o) for o in out] == [3, 3]
+
+    def test_reduce_scatter_custom_sizes(self):
+        vecs = [np.arange(5.0)] * 2
+        out = ref_reduce_scatter(vecs, "sum", sizes=[4, 1])
+        assert [len(o) for o in out] == [4, 1]

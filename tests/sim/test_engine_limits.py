@@ -1,0 +1,158 @@
+"""Edge cases and failure injection for the engine and machine layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (DeadlockError, LinearArray, Machine, Mesh2D,
+                       SimulationLimitError, UNIT)
+from repro.sim.engine import Engine
+
+
+class TestEventLimit:
+    def test_runaway_program_hits_the_limit(self):
+        """A program generating unbounded events trips the safety cap
+        instead of hanging forever."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def ping_forever(env):
+            other = 1 - env.rank
+            while True:
+                s = env.isend(other, np.zeros(1, dtype=np.uint8))
+                r = env.irecv(other)
+                yield env.waitall(s, r)
+
+        engine = Engine(machine.topology, machine.params,
+                        max_events=5000)
+        from repro.sim.engine import RankEnv
+        for rank in (0, 1):
+            engine.spawn(rank, ping_forever(RankEnv(engine, rank)))
+        with pytest.raises(SimulationLimitError, match="exceeded 5000"):
+            engine.run()
+
+
+class TestDeadlockDiagnostics:
+    def test_diagnostics_name_the_blocked_peer(self):
+        machine = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            if env.rank == 0:
+                yield env.recv(2, tag=7)
+
+        with pytest.raises(DeadlockError) as exc:
+            machine.run(prog)
+        msg = str(exc.value)
+        assert "rank 0" in msg
+        assert "peer=2" in msg
+        assert "tag=7" in msg
+
+    def test_partial_deadlock_counts_ranks(self):
+        machine = Machine(LinearArray(4), UNIT)
+
+        def prog(env):
+            if env.rank in (1, 3):
+                yield env.recv(0)
+            # ranks 0 and 2 finish immediately
+
+        with pytest.raises(DeadlockError, match="2 rank"):
+            machine.run(prog)
+
+    def test_cyclic_rendezvous_deadlock(self):
+        """Classic head-to-head blocking sends."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            other = 1 - env.rank
+            yield env.send(other, np.zeros(4))
+            yield env.recv(other)
+
+        with pytest.raises(DeadlockError):
+            machine.run(prog)
+
+    def test_head_to_head_nonblocking_is_fine(self):
+        """The same exchange with isend/irecv completes."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            other = 1 - env.rank
+            s = env.isend(other, np.array([float(env.rank)]))
+            r = env.irecv(other)
+            yield env.waitall(s, r)
+            return float(r.data[0])
+
+        run = machine.run(prog)
+        assert run.results == [1.0, 0.0]
+
+
+class TestMiscEdgeCases:
+    def test_mark_without_tracer_is_harmless(self):
+        machine = Machine(LinearArray(1), UNIT, trace=False)
+
+        def prog(env):
+            yield env.mark("hello")
+            return "ok"
+
+        assert machine.run(prog).results == ["ok"]
+
+    def test_zero_compute_and_delay(self):
+        machine = Machine(LinearArray(1), UNIT)
+
+        def prog(env):
+            yield env.delay(0.0)
+            yield env.compute(0)
+            yield env.overhead(0)
+            return env.now
+
+        assert machine.run(prog).results == [0.0]
+
+    def test_empty_waitall_resumes_immediately(self):
+        machine = Machine(LinearArray(1), UNIT)
+
+        def prog(env):
+            yield env.waitall()
+            return "done"
+
+        assert machine.run(prog).results == ["done"]
+
+    def test_many_small_messages_one_pair(self):
+        """Stress the per-pair FIFO with hundreds of tagged messages."""
+        machine = Machine(LinearArray(2), UNIT)
+        count = 300
+
+        def prog(env):
+            if env.rank == 0:
+                reqs = [env.isend(1, np.array([float(k)]), tag=k % 7)
+                        for k in range(count)]
+                yield env.waitall(*reqs)
+                return None
+            got = []
+            for k in range(count):
+                v = yield env.recv(0, tag=k % 7)
+                got.append(float(v[0]))
+            return got
+
+        run = machine.run(prog)
+        assert run.results[1] == [float(k) for k in range(count)]
+
+    def test_nbytes_override(self):
+        """An explicit nbytes (e.g. a header-inflated message) controls
+        the wire time regardless of the payload."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(1, dtype=np.uint8),
+                               nbytes=500)
+            else:
+                yield env.recv(0)
+
+        assert machine.run(prog).time == pytest.approx(501.0)
+
+    def test_results_preserved_after_exception_free_run(self):
+        machine = Machine(Mesh2D(2, 2), UNIT)
+
+        def prog(env):
+            yield env.delay(env.rank * 1.0)
+            return env.rank ** 2
+
+        run = machine.run(prog)
+        assert run.results == [0, 1, 4, 9]

@@ -1,0 +1,89 @@
+"""Tests for the Machine facade and RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LinearArray, Machine, Mesh2D, UNIT
+
+
+def ring_pass(env):
+    p = env.nranks
+    s = env.isend((env.rank + 1) % p, np.array([float(env.rank)]))
+    r = env.irecv((env.rank - 1) % p)
+    yield env.waitall(s, r)
+    return float(r.data[0])
+
+
+class TestMachine:
+    def test_results_in_rank_order(self):
+        m = Machine(LinearArray(5), UNIT)
+        run = m.run(ring_pass)
+        assert run.results == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_result_of(self):
+        m = Machine(LinearArray(3), UNIT)
+        run = m.run(ring_pass)
+        assert run.result_of(1) == 0.0
+
+    def test_restricted_ranks_leave_others_none(self):
+        m = Machine(LinearArray(6), UNIT)
+
+        def prog(env):
+            if env.rank == 2:
+                yield env.send(3, np.array([1.0]))
+                return "sent"
+            data = yield env.recv(2)
+            return float(data[0])
+
+        run = m.run(prog, ranks=[2, 3])
+        assert run.results[2] == "sent"
+        assert run.results[3] == 1.0
+        assert run.results[0] is None and run.results[5] is None
+
+    def test_invalid_rank_rejected(self):
+        m = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            yield env.delay(0)
+
+        with pytest.raises(ValueError):
+            m.run(prog, ranks=[5])
+
+    def test_trace_flag_per_run_overrides_machine(self):
+        m = Machine(LinearArray(3), UNIT, trace=False)
+        run = m.run(ring_pass, trace=True)
+        assert run.trace is not None
+        assert run.trace.message_count() == 3
+        run2 = m.run(ring_pass)
+        assert run2.trace is None
+
+    def test_extra_args_passed_through(self):
+        m = Machine(LinearArray(2), UNIT)
+
+        def prog(env, a, b=0):
+            yield env.delay(0)
+            return a + b + env.rank
+
+        run = m.run(prog, 10, b=5)
+        assert run.results == [15, 16]
+
+    def test_program_exceptions_propagate(self):
+        m = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            yield env.delay(1)
+            raise RuntimeError("rank program blew up")
+
+        with pytest.raises(RuntimeError, match="blew up"):
+            m.run(prog)
+
+    def test_time_is_last_rank_completion(self):
+        m = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            yield env.delay(float(env.rank * 10))
+
+        assert m.run(prog).time == pytest.approx(20.0)
+
+    def test_nnodes(self):
+        assert Machine(Mesh2D(4, 8), UNIT).nnodes == 32

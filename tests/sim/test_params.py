@@ -1,0 +1,83 @@
+"""Tests for machine parameter sets."""
+
+import math
+
+import pytest
+
+from repro.sim import (DELTA, IPSC860, PARAGON, PRESETS, UNIT,
+                       MachineParams, preset)
+
+
+class TestMachineParams:
+    def test_unit_model(self):
+        assert UNIT.alpha == 1.0
+        assert UNIT.beta == 1.0
+        assert UNIT.gamma == 1.0
+        assert UNIT.sw_overhead == 0.0
+        assert UNIT.link_capacity == 1.0
+
+    def test_transfer_time_is_alpha_plus_n_beta(self):
+        p = MachineParams(alpha=2.0, beta=0.5)
+        assert p.transfer_time(10) == 2.0 + 5.0
+
+    def test_combine_time_is_n_gamma(self):
+        p = MachineParams(gamma=0.25)
+        assert p.combine_time(8) == 2.0
+
+    def test_injection_bandwidth_is_reciprocal_beta(self):
+        p = MachineParams(beta=1.0 / 35e6)
+        assert p.injection_bandwidth == pytest.approx(35e6)
+
+    def test_zero_beta_means_infinite_bandwidth(self):
+        p = MachineParams(beta=0.0)
+        assert p.injection_bandwidth == math.inf
+
+    def test_channel_bandwidth_scales_with_link_capacity(self):
+        p = MachineParams(beta=0.1, link_capacity=4.0)
+        assert p.channel_bandwidth == pytest.approx(40.0)
+
+    def test_with_replaces_fields(self):
+        p = UNIT.with_(alpha=3.0)
+        assert p.alpha == 3.0
+        assert p.beta == UNIT.beta
+        assert UNIT.alpha == 1.0  # original untouched
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(alpha=-1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(sw_overhead=-1e-6)
+
+    def test_zero_link_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(link_capacity=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            UNIT.alpha = 2.0
+
+
+class TestPresets:
+    def test_all_presets_resolvable(self):
+        for name in PRESETS:
+            assert preset(name) is PRESETS[name]
+
+    def test_preset_case_insensitive(self):
+        assert preset("Paragon") is PARAGON
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown machine preset"):
+            preset("cray-t3d")
+
+    def test_paragon_has_excess_link_bandwidth(self):
+        # section 7.1: each link accommodates several messages
+        assert PARAGON.link_capacity > 1.0
+        assert DELTA.link_capacity == 1.0
+
+    def test_presets_are_physically_sane(self):
+        for p in (PARAGON, DELTA, IPSC860):
+            assert 0 < p.alpha < 1e-2          # sub-10ms latency
+            assert 1e5 < p.injection_bandwidth < 1e9
+            assert p.gamma > 0

@@ -1,0 +1,164 @@
+"""Tests for interconnect topologies and wormhole routes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (FullyConnected, Hypercube, LinearArray, Mesh2D, Ring,
+                       route_length)
+
+
+def route_is_walk(topology, src, dst):
+    """Every route must be a connected walk from src to dst."""
+    path = topology.route(src, dst)
+    if src == dst:
+        return path == []
+    cur = src
+    for u, v in path:
+        assert u == cur, f"route breaks at {u} (expected {cur})"
+        cur = v
+    assert cur == dst
+    return True
+
+
+class TestLinearArray:
+    def test_route_right(self):
+        t = LinearArray(5)
+        assert t.route(1, 4) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_route_left_uses_reverse_channels(self):
+        t = LinearArray(5)
+        assert t.route(3, 1) == [(3, 2), (2, 1)]
+
+    def test_self_route_empty(self):
+        assert LinearArray(4).route(2, 2) == []
+
+    def test_channel_count(self):
+        # p-1 links, two directed channels each
+        assert len(list(LinearArray(7).channels())) == 12
+
+    def test_opposite_directions_disjoint(self):
+        t = LinearArray(6)
+        fwd = set(t.route(0, 5))
+        bwd = set(t.route(5, 0))
+        assert not (fwd & bwd)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            LinearArray(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LinearArray(3).route(0, 3)
+
+
+class TestRing:
+    def test_wraps_shorter_way(self):
+        t = Ring(6)
+        assert t.route(5, 0) == [(5, 0)]
+        assert t.route(0, 5) == [(0, 5)]
+
+    def test_tie_goes_clockwise(self):
+        t = Ring(4)
+        assert t.route(0, 2) == [(0, 1), (1, 2)]
+
+    def test_route_lengths_at_most_half(self):
+        t = Ring(9)
+        for s in range(9):
+            for d in range(9):
+                assert route_length(t, s, d) <= 9 // 2 + 1
+
+
+class TestMesh2D:
+    def test_coords_roundtrip(self):
+        m = Mesh2D(4, 8)
+        for node in range(32):
+            r, c = m.coords(node)
+            assert m.node_at(r, c) == node
+
+    def test_xy_routing_row_first(self):
+        m = Mesh2D(3, 4)
+        # (0,0) -> (2,2): along row 0 to column 2, then down column 2
+        path = m.route(0, 10)
+        assert path == [(0, 1), (1, 2), (2, 6), (6, 10)]
+
+    def test_row_routes_stay_in_row(self):
+        m = Mesh2D(4, 8)
+        path = m.route(8, 15)  # both in row 1
+        for u, v in path:
+            assert u // 8 == 1 and v // 8 == 1
+
+    def test_col_routes_stay_in_col(self):
+        m = Mesh2D(4, 8)
+        path = m.route(3, 27)  # both in column 3
+        for u, v in path:
+            assert u % 8 == 3 and v % 8 == 3
+
+    def test_row_and_col_nodes(self):
+        m = Mesh2D(3, 4)
+        assert m.row_nodes(1) == [4, 5, 6, 7]
+        assert m.col_nodes(2) == [2, 6, 10]
+
+    def test_channel_count(self):
+        m = Mesh2D(3, 4)
+        # horizontal: 3 rows * 3 links * 2; vertical: 2 * 4 * 2
+        assert len(list(m.channels())) == 18 + 16
+
+    def test_distinct_rows_disjoint_channels(self):
+        m = Mesh2D(4, 8)
+        row1 = {ch for c in range(7) for ch in m.route(8 + c, 8 + c + 1)}
+        row2 = {ch for c in range(7) for ch in m.route(16 + c, 16 + c + 1)}
+        assert not (row1 & row2)
+
+    @given(st.integers(2, 6), st.integers(2, 6),
+           st.integers(0, 35), st.integers(0, 35))
+    @settings(max_examples=60, deadline=None)
+    def test_routes_are_walks(self, r, c, a, b):
+        m = Mesh2D(r, c)
+        a %= m.nnodes
+        b %= m.nnodes
+        route_is_walk(m, a, b)
+
+    def test_route_length_is_manhattan(self):
+        m = Mesh2D(5, 7)
+        for s in (0, 9, 34):
+            for d in (0, 17, 33):
+                sr, sc = m.coords(s)
+                dr, dc = m.coords(d)
+                assert route_length(m, s, d) == abs(sr - dr) + abs(sc - dc)
+
+
+class TestHypercube:
+    def test_sizes(self):
+        assert Hypercube(0).nnodes == 1
+        assert Hypercube(5).nnodes == 32
+
+    def test_ecube_route_fixes_low_dims_first(self):
+        h = Hypercube(3)
+        assert h.route(0, 7) == [(0, 1), (1, 3), (3, 7)]
+
+    def test_route_length_is_hamming_distance(self):
+        h = Hypercube(4)
+        for s in range(16):
+            for d in range(16):
+                assert route_length(h, s, d) == bin(s ^ d).count("1")
+
+    def test_channel_count(self):
+        # d * 2^d directed channels
+        assert len(list(Hypercube(3).channels())) == 3 * 8
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(21)
+
+
+class TestFullyConnected:
+    def test_single_hop_routes(self):
+        t = FullyConnected(5)
+        assert t.route(1, 3) == [(1, 3)]
+
+    def test_no_shared_channels(self):
+        t = FullyConnected(4)
+        routes = [tuple(t.route(a, b)) for a in range(4) for b in range(4)
+                  if a != b]
+        assert len(set(routes)) == len(routes)

@@ -1,0 +1,110 @@
+"""Tests for message tracing (the Figure 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LinearArray, Machine, UNIT
+from repro.sim.trace import MessageRecord, Tracer
+
+
+def traced_run(prog, p=4):
+    m = Machine(LinearArray(p), UNIT, trace=True)
+    return m.run(prog)
+
+
+class TestTracer:
+    def test_records_full_lifecycle(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.delay(5)
+                yield env.send(1, np.zeros(10, dtype=np.uint8))
+            elif env.rank == 1:
+                yield env.recv(0)
+
+        run = traced_run(prog)
+        (rec,) = run.trace.completed()
+        assert rec.src == 0 and rec.dst == 1
+        assert rec.nbytes == 10
+        assert rec.t_send_post == pytest.approx(5.0)
+        assert rec.t_recv_post == pytest.approx(0.0)
+        assert rec.t_match == pytest.approx(5.0)
+        assert rec.t_complete == pytest.approx(16.0)
+        assert rec.duration == pytest.approx(11.0)
+        assert rec.wait_time == pytest.approx(5.0)
+
+    def test_between_filters_by_pair(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.array([1.0]))
+                yield env.send(2, np.array([2.0]))
+            elif env.rank in (1, 2):
+                yield env.recv(0)
+
+        run = traced_run(prog)
+        assert len(run.trace.between(0, 1)) == 1
+        assert len(run.trace.between(0, 2)) == 1
+        assert run.trace.between(1, 0) == []
+
+    def test_total_bytes_and_count(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(3, dtype=np.float64))
+                yield env.send(1, np.zeros(2, dtype=np.float64))
+            elif env.rank == 1:
+                yield env.recv(0)
+                yield env.recv(0)
+
+        run = traced_run(prog)
+        assert run.trace.message_count() == 2
+        assert run.trace.total_bytes() == 40
+
+    def test_step_table_groups_by_match_time(self):
+        def prog(env):
+            # two rounds of disjoint neighbor sends
+            if env.rank in (0, 2):
+                yield env.send(env.rank + 1, np.zeros(8, dtype=np.uint8))
+                yield env.send(env.rank + 1, np.zeros(8, dtype=np.uint8))
+            else:
+                yield env.recv(env.rank - 1)
+                yield env.recv(env.rank - 1)
+
+        run = traced_run(prog)
+        steps = run.trace.step_table()
+        assert len(steps) == 2
+        assert all(len(recs) == 2 for _, recs in steps)
+
+    def test_render_steps_mentions_endpoints(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(3, np.zeros(4, dtype=np.uint8))
+            elif env.rank == 3:
+                yield env.recv(0)
+
+        run = traced_run(prog)
+        text = run.trace.render_steps()
+        assert "0->3" in text and "step 1" in text
+
+    def test_marks(self):
+        def prog(env):
+            yield env.mark(f"hello from {env.rank}")
+            yield env.delay(1)
+
+        run = traced_run(prog, p=2)
+        assert len(run.trace.marks) == 2
+        assert run.trace.marks[0][2] == "hello from 0"
+
+    def test_by_completion_sorted(self):
+        def prog(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(100, dtype=np.uint8))
+            elif env.rank == 1:
+                yield env.recv(0)
+            elif env.rank == 2:
+                yield env.send(3, np.zeros(10, dtype=np.uint8))
+            elif env.rank == 3:
+                yield env.recv(2)
+
+        run = traced_run(prog)
+        recs = run.trace.by_completion()
+        assert (recs[0].src, recs[0].dst) == (2, 3)
+        assert (recs[1].src, recs[1].dst) == (0, 1)

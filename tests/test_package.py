@@ -1,0 +1,37 @@
+"""Package-level surface tests: the documented entry points exist."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_reexports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart must run as printed."""
+        import numpy as np
+        from repro import Machine, Mesh2D, PARAGON, api
+
+        machine = Machine(Mesh2D(4, 4), PARAGON)
+
+        def program(env):
+            x = np.arange(64.) if env.rank == 0 else None
+            x = yield from api.bcast(env, x, root=0, total=64)
+            s = yield from api.allreduce(env, x, "sum")
+            return float(s[0])
+
+        run = machine.run(program)
+        assert run.time > 0
+        assert all(r == 0.0 for r in run.results)
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.extensions
+        import repro.sim
+        assert repro.sim.Machine is repro.Machine
