@@ -1,0 +1,7 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Unlike the paper-reproduction benchmarks (``benchmarks/bench_*.py``,
+which report *simulated* time), this package measures how fast the
+simulator runs on the host: events/sec, flows/sec, and end-to-end wall
+time for representative collectives.  See ``docs/performance.md``.
+"""

@@ -1,0 +1,135 @@
+"""Microbenchmark case definitions for the simulator perf harness.
+
+Each case runs one representative collective on a machine of ``p`` nodes
+with a total vector of ``nbytes`` bytes and reports wall-clock metrics of
+the *simulator* (the simulated result is deterministic; only host time
+varies).  The grid follows the paper's Figure 4 sweep axes:
+
+* operations: ring (bucket) collect, hybrid broadcast, ring
+  reduce-scatter — the long-vector workhorses plus the flagship hybrid;
+* machine sizes ``p`` in {30, 64, 512} (512 is the 16x32 Paragon);
+* message sizes ``n`` in {8 B, 64 KB, 1 MB} (Table 3's columns).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import api
+from repro.core.partition import partition_sizes
+from repro.sim import PARAGON, Machine, Mesh2D, Ring
+
+#: mesh shapes for the hybrid broadcast (the paper's machines)
+_MESH_SHAPES = {30: (5, 6), 64: (8, 8), 512: (16, 32)}
+
+
+def _elems(nbytes: int) -> int:
+    return max(1, nbytes // 8)
+
+
+def _ring_collect(p: int, nbytes: int) -> Tuple[Machine, Callable]:
+    machine = Machine(Ring(p), PARAGON)
+    sizes = partition_sizes(_elems(nbytes), p)
+
+    def prog(env):
+        blk = np.zeros(sizes[env.rank], dtype=np.float64)
+        out = yield from api.collect(env, blk, sizes=sizes,
+                                     algorithm="long")
+        return len(out)
+    return machine, prog
+
+
+def _hybrid_bcast(p: int, nbytes: int) -> Tuple[Machine, Callable]:
+    rows, cols = _MESH_SHAPES[p]
+    machine = Machine(Mesh2D(rows, cols), PARAGON)
+    n = _elems(nbytes)
+
+    def prog(env):
+        buf = np.zeros(n, dtype=np.float64) if env.rank == 0 else None
+        out = yield from api.bcast(env, buf, root=0, total=n,
+                                   algorithm="auto")
+        return len(out)
+    return machine, prog
+
+
+def _reduce_scatter(p: int, nbytes: int) -> Tuple[Machine, Callable]:
+    machine = Machine(Ring(p), PARAGON)
+    n = _elems(nbytes)
+
+    def prog(env):
+        vec = np.zeros(n, dtype=np.float64)
+        out = yield from api.reduce_scatter(env, vec, algorithm="long")
+        return len(out)
+    return machine, prog
+
+
+OPERATIONS: Dict[str, Callable[[int, int], Tuple[Machine, Callable]]] = {
+    "ring_collect": _ring_collect,
+    "hybrid_bcast": _hybrid_bcast,
+    "reduce_scatter": _reduce_scatter,
+}
+
+#: the full grid of the issue (p x nbytes); the smoke grid is a subset
+#: small enough for CI.
+FULL_GRID: List[Tuple[str, int, int]] = [
+    (op, p, n)
+    for op in OPERATIONS
+    for p in (30, 64, 512)
+    for n in (8, 64 * 1024, 1024 * 1024)
+]
+
+SMOKE_GRID: List[Tuple[str, int, int]] = [
+    (op, p, n)
+    for op in OPERATIONS
+    for p in (30,)
+    for n in (8, 64 * 1024)
+] + [("ring_collect", 64, 1024 * 1024)]
+
+GRIDS = {"full": FULL_GRID, "smoke": SMOKE_GRID}
+
+
+def case_id(op: str, p: int, nbytes: int) -> str:
+    return f"{op}/p{p}/n{nbytes}"
+
+
+def run_case(op: str, p: int, nbytes: int,
+             repeats: Optional[int] = None) -> Dict[str, float]:
+    """Run one case ``repeats`` times; report the fastest run's metrics.
+
+    The wall time is the minimum over repeats (the standard way to
+    suppress scheduler noise for CPU-bound microbenchmarks); the
+    simulator statistics are identical across repeats by construction.
+    """
+    if repeats is None:
+        repeats = 3 if p < 512 else 1
+    best = None
+    stats: Dict[str, float] = {}
+    for _ in range(repeats):
+        machine, prog = OPERATIONS[op](p, nbytes)
+        t0 = time.perf_counter()
+        run = machine.run(prog)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+        stats = {
+            "sim_time": run.time,
+            "messages": run.messages,
+            "rate_recomputations": run.rate_recomputations,
+        }
+        # events/flows counters exist on the optimized engine only;
+        # a baseline captured on an older build simply omits them.
+        for opt in ("events", "flows"):
+            v = getattr(run, opt, None)
+            if v is not None:
+                stats[opt] = v
+    out = {"wall_s": best, **stats}
+    if best:
+        out["messages_per_s"] = stats["messages"] / best
+        if "events" in stats:
+            out["events_per_s"] = stats["events"] / best
+        if "flows" in stats:
+            out["flows_per_s"] = stats["flows"] / best
+    return out

@@ -1,0 +1,94 @@
+"""CLI entry point: run the simulator perf grid and emit ``BENCH_sim.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run                 # full grid
+    PYTHONPATH=src python -m benchmarks.perf.run --grid smoke    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.run --update-baseline
+
+``BENCH_sim.json`` records, per case, the current ("after") wall-clock
+metrics next to the stored baseline ("before", captured from the
+pre-optimization simulator in ``benchmarks/perf/baseline_seed.json``)
+and the resulting speedup, so the perf trajectory is tracked from the
+first optimization PR onward.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from .cases import GRIDS, case_id, run_case
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(os.path.dirname(_HERE))
+BASELINE_PATH = os.path.join(_HERE, "baseline_seed.json")
+DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_sim.json")
+
+
+def load_baseline() -> dict:
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as f:
+            return json.load(f)
+    return {"cases": {}}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--grid", choices=sorted(GRIDS), default="full")
+    ap.add_argument("--output", default=DEFAULT_OUTPUT,
+                    help="where to write the JSON report")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="override per-case repeat count")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="store this run as the 'before' baseline "
+                         "(only for intentional re-baselining)")
+    args = ap.parse_args(argv)
+
+    baseline = load_baseline()
+    cases = {}
+    t_start = time.perf_counter()
+    for op, p, n in GRIDS[args.grid]:
+        cid = case_id(op, p, n)
+        print(f"  {cid} ...", end="", flush=True)
+        metrics = run_case(op, p, n, repeats=args.repeats)
+        before = baseline.get("cases", {}).get(cid)
+        entry = {"after": metrics}
+        if before is not None:
+            entry["before"] = before
+            if before.get("wall_s") and metrics.get("wall_s"):
+                entry["speedup"] = before["wall_s"] / metrics["wall_s"]
+        cases[cid] = entry
+        extra = (f"  ({entry['speedup']:.2f}x vs baseline)"
+                 if "speedup" in entry else "")
+        print(f" {metrics['wall_s']:.3f}s{extra}")
+
+    report = {
+        "schema": "repro-sim-perf/1",
+        "grid": args.grid,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "total_wall_s": time.perf_counter() - t_start,
+        "cases": cases,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        snap = {"captured": {"python": platform.python_version()},
+                "cases": {cid: e["after"] for cid, e in cases.items()}}
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(snap, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence, Tuple
 
-from ..sim.engine import CommHandle, RankEnv
+from ..sim.engine import CommHandle, RankEnv, _WaitGroup, payload_nbytes
 
 
 class CollContext:
@@ -37,7 +37,7 @@ class CollContext:
         (source, tag) pair).
     """
 
-    __slots__ = ("env", "group", "tag", "rank", "_phys2log")
+    __slots__ = ("env", "group", "tag", "rank", "_phys2log", "_eng")
 
     def __init__(self, env: RankEnv, group: Optional[Sequence[int]] = None,
                  tag: int = 0):
@@ -52,6 +52,7 @@ class CollContext:
         self.tag = tag
         self._phys2log = {p: l for l, p in enumerate(self.group)}
         self.rank: Optional[int] = self._phys2log.get(env.rank)
+        self._eng = env.engine
 
     # ------------------------------------------------------------------
     # shape
@@ -87,11 +88,17 @@ class CollContext:
 
     def isend(self, ldst: int, data: Any,
               nbytes: Optional[float] = None) -> CommHandle:
-        return self.env.isend(self.group[ldst], data, tag=self.tag,
-                              nbytes=nbytes)
+        # Calls straight into the engine (skipping the RankEnv wrapper):
+        # group code posts one send+recv pair per ring/tree step, so this
+        # is the single hottest call of every long-vector collective.
+        if nbytes is None:
+            nbytes = payload_nbytes(data)
+        return self._eng._post_send(self.env.rank, self.group[ldst],
+                                    self.tag, data, nbytes)
 
     def irecv(self, lsrc: int) -> CommHandle:
-        return self.env.irecv(self.group[lsrc], tag=self.tag)
+        return self._eng._post_recv(self.env.rank, self.group[lsrc],
+                                    self.tag)
 
     def send(self, ldst: int, data: Any, nbytes: Optional[float] = None):
         return self.env.send(self.group[ldst], data, tag=self.tag,
@@ -101,7 +108,9 @@ class CollContext:
         return self.env.recv(self.group[lsrc], tag=self.tag)
 
     def waitall(self, *handles: CommHandle):
-        return self.env.waitall(*handles)
+        # Group code always passes bare handles (never nested lists), so
+        # skip RankEnv.waitall's flattening pass.
+        return _WaitGroup(list(handles))
 
     def compute(self, nelems: float):
         return self.env.compute(nelems)

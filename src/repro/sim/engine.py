@@ -27,6 +27,18 @@ Blocking semantics follow the paper's model (section 2):
 
 Message matching is by ``(source, tag)`` with FIFO order per pair, which
 is deterministic for deterministic programs.
+
+Performance notes (see ``docs/performance.md``)
+-----------------------------------------------
+The event heap stores plain tuples ``(t, seq, kind, a, b)`` — process
+wake-ups (``kind`` ``_EV_ADVANCE``), rendezvous transfer begins
+(``_EV_BEGIN``, fired ``alpha`` after the match) and fluid-flow
+completions (``_EV_COMPLETION``) are dispatched directly from the run
+loop without allocating a closure per event; only the generic
+:meth:`Engine.schedule` path (``_EV_CALL``) carries a callback.
+Together with the network-side completion-event elision this removes
+the per-message closures and heap churn that used to dominate
+large-``p`` runs.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, Deque, Generator, List, Optional, Tuple
 from collections import defaultdict, deque
 
@@ -101,7 +114,7 @@ class CommHandle:
     """Completion handle for a posted (nonblocking) send or receive."""
 
     __slots__ = ("kind", "peer", "tag", "data", "nbytes", "done",
-                 "_waiters", "record", "posted_at")
+                 "_waiters", "record", "posted_at", "partner")
 
     def __init__(self, kind: str, peer: int, tag: int,
                  data: Any = None, nbytes: float = 0.0,
@@ -112,15 +125,17 @@ class CommHandle:
         self.data = data          # payload (filled in on recv completion)
         self.nbytes = nbytes
         self.done = False
-        self._waiters: List["_WaitGroup"] = []
+        self._waiters: Optional[List["_WaitGroup"]] = None
         self.record: Optional[MessageRecord] = None
         self.posted_at = posted_at
 
     def _complete(self, engine: "Engine") -> None:
         self.done = True
-        waiters, self._waiters = self._waiters, []
-        for wg in waiters:
-            wg.notify(engine)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = None
+            for wg in waiters:
+                wg.notify(engine)
 
     def __repr__(self) -> str:
         state = "done" if self.done else "pending"
@@ -140,11 +155,16 @@ class _WaitGroup(_Request):
     def arm(self, engine: "Engine", proc: "_Process") -> bool:
         """Register on incomplete handles.  Returns True if already done."""
         self.proc = proc
+        pending = 0
         for h in self.handles:
             if not h.done:
-                h._waiters.append(self)
-                self.pending += 1
-        return self.pending == 0
+                if h._waiters is None:
+                    h._waiters = [self]
+                else:
+                    h._waiters.append(self)
+                pending += 1
+        self.pending = pending
+        return pending == 0
 
     def notify(self, engine: "Engine") -> None:
         self.pending -= 1
@@ -267,6 +287,14 @@ class RankEnv:
 # Engine
 # ----------------------------------------------------------------------
 
+#: heap event kinds — events are (t, seq, kind, a, b) tuples; the unique
+#: seq means comparisons never reach the payload fields.
+_EV_CALL = 0        # a: callable
+_EV_ADVANCE = 1     # a: _Process, b: value to send into the generator
+_EV_COMPLETION = 2  # a: Flow, b: epoch
+_EV_BEGIN = 3       # a: send handle, b: recv handle (rendezvous opens)
+
+
 class Engine:
     """Event loop coordinating rank programs and the fluid network."""
 
@@ -278,18 +306,25 @@ class Engine:
         self.tracer = tracer
         self.now = 0.0
         self.max_events = max_events
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple] = []
         self._seq = itertools.count()
+        self._seqn = self._seq.__next__
+        self._alpha = params.alpha
+        self._nnodes = topology.nnodes
         self._procs: List[_Process] = []
         self._ndone = 0
         self._last_done_time = 0.0
-        self.network = FluidNetwork(topology, params, self.schedule)
+        self.network = FluidNetwork(
+            topology, params, self.schedule,
+            schedule_completion=self._schedule_completion,
+            complete=self._flow_done)
         # (dst, src, tag) -> deque of unmatched sends / recvs
         self._pending_sends: Dict[Tuple[int, int, int], Deque] = \
             defaultdict(deque)
         self._pending_recvs: Dict[Tuple[int, int, int], Deque] = \
             defaultdict(deque)
         self.messages_sent = 0
+        self.events_processed = 0
 
     # --- scheduling ------------------------------------------------------
 
@@ -297,18 +332,26 @@ class Engine:
         if t < self.now - 1e-12:
             raise RuntimeError(
                 f"cannot schedule into the past ({t} < {self.now})")
-        heapq.heappush(self._heap, (max(t, self.now), next(self._seq), cb))
+        heappush(self._heap,
+                 (max(t, self.now), self._seqn(), _EV_CALL, cb, None))
+
+    def _schedule_completion(self, t: float, flow, epoch: int) -> None:
+        heappush(self._heap,
+                 (max(t, self.now), self._seqn(), _EV_COMPLETION,
+                  flow, epoch))
 
     # --- processes --------------------------------------------------------
 
     def spawn(self, rank: int, gen: Generator) -> _Process:
         proc = _Process(rank, gen)
         self._procs.append(proc)
-        self.schedule(0.0, lambda: self._advance(proc, None))
+        heappush(self._heap,
+                 (0.0, self._seqn(), _EV_ADVANCE, proc, None))
         return proc
 
     def _ready(self, proc: _Process, value: Any) -> None:
-        self.schedule(self.now, lambda: self._advance(proc, value))
+        heappush(self._heap,
+                 (self.now, self._seqn(), _EV_ADVANCE, proc, value))
 
     def _advance(self, proc: _Process, value: Any) -> None:
         if proc.done:
@@ -326,14 +369,15 @@ class Engine:
         self._dispatch(proc, req)
 
     def _dispatch(self, proc: _Process, req: Any) -> None:
-        if isinstance(req, _Delay):
-            proc.blocked_on = req
-            self.schedule(self.now + req.duration,
-                          lambda: self._advance(proc, None))
-        elif isinstance(req, _WaitGroup):
+        if isinstance(req, _WaitGroup):
             proc.blocked_on = req
             if req.arm(self, proc):
                 self._ready(proc, req._value())
+        elif isinstance(req, _Delay):
+            proc.blocked_on = req
+            heappush(self._heap,
+                     (self.now + req.duration, self._seqn(),
+                      _EV_ADVANCE, proc, None))
         elif isinstance(req, CommHandle):
             # Allow `yield env.isend(...)` as shorthand for post+wait.
             self._dispatch(proc, _WaitGroup([req]))
@@ -346,9 +390,9 @@ class Engine:
 
     def _post_send(self, src: int, dst: int, tag: int, data: Any,
                    nbytes: float) -> CommHandle:
-        self.topology.check_node(dst)
-        h = CommHandle("send", dst, tag, data, nbytes,
-                       posted_at=self.now)
+        if not 0 <= dst < self._nnodes:
+            self.topology.check_node(dst)  # raises with the full message
+        h = CommHandle("send", dst, tag, data, nbytes, self.now)
         self.messages_sent += 1
         rec = None
         if self.tracer is not None:
@@ -359,9 +403,9 @@ class Engine:
         key = (dst, src, tag)
         recvq = self._pending_recvs.get(key)
         if recvq:
+            # Drained queues are left in place (empty) — ring patterns
+            # reuse the same (dst, src, tag) key every step.
             rh = recvq.popleft()
-            if not recvq:
-                del self._pending_recvs[key]
             if rec is not None:
                 rec.t_recv_post = rh.posted_at
             self._match(src, dst, tag, h, rh)
@@ -370,14 +414,13 @@ class Engine:
         return h
 
     def _post_recv(self, dst: int, src: int, tag: int) -> CommHandle:
-        self.topology.check_node(src)
-        h = CommHandle("recv", src, tag, posted_at=self.now)
+        if not 0 <= src < self._nnodes:
+            self.topology.check_node(src)  # raises with the full message
+        h = CommHandle("recv", src, tag, None, 0.0, self.now)
         key = (dst, src, tag)
         sendq = self._pending_sends.get(key)
         if sendq:
             sh = sendq.popleft()
-            if not sendq:
-                del self._pending_sends[key]
             if sh.record is not None:
                 sh.record.t_recv_post = self.now
             self._match(src, dst, tag, sh, h)
@@ -394,31 +437,25 @@ class Engine:
             rec.t_match = now
             if math.isnan(rec.t_recv_post):
                 rec.t_recv_post = now
-
-        def finish(t_done: float) -> None:
-            if rec is not None:
-                rec.t_complete = t_done
-            rh.data = sh.data
-            rh.nbytes = sh.nbytes
-            sh._complete(self)
-            rh._complete(self)
-
+        sh.partner = rh
         if src == dst:
             # Local "transfer": a memory copy, modelled as free (the
             # paper's algorithms never self-send; baselines may).
-            self.schedule(now, lambda: finish(self.now))
+            self.schedule(now, lambda: self._flow_done(sh, self.now))
             return
+        heappush(self._heap,
+                 (now + self._alpha, self._seqn(), _EV_BEGIN, sh, rh))
 
-        alpha = self.params.alpha
-
-        def begin_flow() -> None:
-            if sh.nbytes <= 0:
-                finish(self.now)
-            else:
-                self.network.start_flow(src, dst, sh.nbytes, self.now,
-                                        finish)
-
-        self.schedule(now + alpha, begin_flow)
+    def _flow_done(self, sh: CommHandle, when: float) -> None:
+        """Last byte delivered (or zero-byte rendezvous closed)."""
+        rh = sh.partner
+        rec = sh.record
+        if rec is not None:
+            rec.t_complete = when
+        rh.data = sh.data
+        rh.nbytes = sh.nbytes
+        sh._complete(self)
+        rh._complete(self)
 
     # --- main loop -------------------------------------------------------
 
@@ -426,18 +463,41 @@ class Engine:
         """Run to completion; returns the simulated time at which the
         last rank finished (stale fluid-model events scheduled past that
         point are drained but do not count as elapsed time)."""
+        heap = self._heap
+        network = self.network
+        pop = heappop
+        max_events = self.max_events
+        nprocs = len(self._procs)
+        advance = self._advance
+        flow_done = self._flow_done
+        start_flow = network.start_flow
+        fire_completion = network.fire_completion
         events = 0
-        while self._heap:
+        while heap:
             events += 1
-            if events > self.max_events:
+            if events > max_events:
+                self.events_processed = events
                 raise SimulationLimitError(
                     f"exceeded {self.max_events} events at t={self.now}")
-            if self._ndone == len(self._procs):
+            if self._ndone == nprocs:
                 break  # remaining events can only be stale completions
-            t, _, cb = heapq.heappop(self._heap)
-            self.now = t
-            cb()
-        if self._ndone != len(self._procs):
+            ev = pop(heap)
+            self.now = t = ev[0]
+            kind = ev[2]
+            if kind == _EV_ADVANCE:
+                advance(ev[3], ev[4])
+            elif kind == _EV_BEGIN:
+                sh = ev[3]
+                if sh.nbytes <= 0:
+                    flow_done(sh, t)
+                else:
+                    start_flow(ev[4].peer, sh.peer, sh.nbytes, t, sh)
+            elif kind == _EV_COMPLETION:
+                fire_completion(ev[3], ev[4], t)
+            else:
+                ev[3]()
+        self.events_processed = events
+        if self._ndone != nprocs:
             blocked = [(p.rank, p.blocked_on) for p in self._procs
                        if not p.done]
             detail = "; ".join(

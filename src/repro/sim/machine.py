@@ -36,6 +36,8 @@ class RunResult:
     messages: int               #: total point-to-point messages
     bytes_moved: float          #: total payload bytes carried by the net
     rate_recomputations: int    #: fluid-model bookkeeping (diagnostics)
+    events: int = 0             #: discrete events processed by the engine
+    flows: int = 0              #: flows carried by the fluid network
 
     def result_of(self, rank: int) -> Any:
         return self.results[rank]
@@ -102,4 +104,6 @@ class Machine:
             messages=engine.messages_sent,
             bytes_moved=engine.network.bytes_carried,
             rate_recomputations=engine.network.rate_recomputations,
+            events=engine.events_processed,
+            flows=engine.network.flows_started,
         )

@@ -25,14 +25,44 @@ channel can carry several messages without penalty — enters through
 ``MachineParams.link_capacity``: channel capacity is ``link_capacity``
 times the injection bandwidth, so up to that many flows cross a channel
 at full speed.
+
+Performance notes (see ``docs/performance.md``)
+-----------------------------------------------
+The hot path of every simulated message is ``start_flow`` -> one or two
+max-min recomputations -> a completion event.  To keep that path cheap:
+
+* **Resource interning.**  Resources (``("inj", node)``, ``("ch", u, v)``,
+  ``("ej", node)``) are interned to dense integer ids at first use;
+  capacities, flow indices and scratch stamps live in flat lists indexed
+  by id, so the water-filling inner loops never hash a tuple.
+* **Route caching.**  The interned resource sequence of every
+  ``(src, dst)`` pair is computed once per network and reused; repeated
+  ring/mesh traffic patterns hit a single dict lookup.
+* **Incremental flow indices.**  ``_res_flows[rid]`` is an
+  insertion-ordered dict acting as an ordered set, updated as flows
+  start and finish — components and counts are never rebuilt from
+  scratch, and the deterministic order makes whole runs reproducible
+  (the previous ``set``-of-objects indices iterated in ``id()`` order,
+  which could permute same-time events between runs).
+* **Stamped component walks.**  Component discovery and the progressive
+  filling bookkeeping use generation stamps on flows/resources instead
+  of per-call ``set``/``dict`` allocations.
+* **Completion-event elision.**  A recomputation that leaves a flow's
+  predicted finish time bit-identical (the common case when several
+  flows start at one timestamp) keeps the already-scheduled completion
+  event instead of scheduling a replacement and letting the old one go
+  stale.
+
+All of the above preserve the *simulated* results bit-for-bit — the
+golden-equivalence corpus (``tests/sim/test_golden_equivalence.py``)
+enforces exactly that.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .params import MachineParams
 from .topology import Topology
@@ -42,16 +72,24 @@ Resource = Tuple  # ("inj", node) | ("ej", node) | ("ch", u, v)
 #: tolerance for "flow has finished" in bytes
 _EPS_BYTES = 1e-9
 
+_INF = math.inf
+
 
 class Flow:
-    """One in-flight message moving through the fluid network."""
+    """One in-flight message moving through the fluid network.
+
+    ``route`` holds the network's *interned* resource ids (ints); use
+    :meth:`FluidNetwork.resources_of` to translate back to the
+    ``("inj", node)`` / ``("ch", u, v)`` / ``("ej", node)`` tuples.
+    """
 
     __slots__ = ("fid", "src", "dst", "route", "remaining", "rate",
-                 "last_update", "epoch", "on_complete", "started_at")
+                 "last_update", "epoch", "on_complete", "started_at",
+                 "_sched_at", "_sched_epoch", "_cstamp", "_fstamp")
 
     def __init__(self, fid: int, src: int, dst: int,
-                 route: Tuple[Resource, ...], nbytes: float,
-                 on_complete: Callable[[float], None], now: float):
+                 route: Tuple[int, ...], nbytes: float,
+                 on_complete, now: float):
         self.fid = fid
         self.src = src
         self.dst = dst
@@ -63,13 +101,25 @@ class Flow:
         #: bumped on every reschedule; stale completion events are ignored
         self.epoch = 0
         self.on_complete = on_complete
+        #: time of the pending completion event, and the epoch it carries
+        self._sched_at = -1.0
+        self._sched_epoch = -1
+        #: generation stamps for component walks / progressive filling
+        self._cstamp = 0
+        self._fstamp = 0
 
     def settle(self, now: float) -> None:
-        """Account for bytes transferred since the last rate change."""
+        """Account for bytes transferred since the last rate change.
+
+        Residues smaller than ``_EPS_BYTES`` (including negative
+        float-drift underflow) are clamped to exactly zero so that
+        repeated rate changes cannot accumulate a stale sub-epsilon
+        remainder that keeps scheduling zero-duration completion epochs.
+        """
         dt = now - self.last_update
         if dt > 0.0 and self.rate > 0.0:
             self.remaining -= self.rate * dt
-            if self.remaining < 0.0:
+            if self.remaining < _EPS_BYTES:
                 self.remaining = 0.0
         self.last_update = now
 
@@ -78,7 +128,7 @@ class Flow:
         if self.remaining <= _EPS_BYTES:
             return now
         if self.rate <= 0.0:
-            return math.inf
+            return _INF
         return now + self.remaining / self.rate
 
     def __repr__(self) -> str:
@@ -90,21 +140,50 @@ class FluidNetwork:
     """Shared-bandwidth transport over a :class:`Topology`.
 
     The network does not own the simulation clock; an engine drives it by
-    calling :meth:`start_flow` and :meth:`completion_due`, and by invoking
-    :meth:`finish_flow` when a scheduled completion event fires.
+    calling :meth:`start_flow`, and by invoking :meth:`fire_completion`
+    when a scheduled completion event fires.
+
+    ``schedule(t, cb)`` is the generic event hook; when the driving
+    engine also passes ``schedule_completion(t, flow, epoch)`` the
+    network uses it for flow completions so the engine can represent
+    them as plain tuples instead of per-event closures.
     """
 
     def __init__(self, topology: Topology, params: MachineParams,
-                 schedule: Callable[[float, Callable[[], None]], None]):
+                 schedule: Callable[[float, Callable[[], None]], None],
+                 schedule_completion: Optional[
+                     Callable[[float, Flow, int], None]] = None,
+                 complete: Optional[Callable[[object, float], None]] = None):
         self.topology = topology
         self.params = params
         self._schedule = schedule
+        if schedule_completion is None:
+            def schedule_completion(t: float, flow: Flow,
+                                    epoch: int) -> None:
+                schedule(t, lambda: self.fire_completion(flow, epoch, t))
+        self._schedule_completion = schedule_completion
+        if complete is None:
+            def complete(token: object, when: float) -> None:
+                token(when)  # standalone use: the token is a callback
+        self._complete = complete
         self._fid = itertools.count()
-        #: resource -> set of flows currently crossing it
-        self._res_flows: Dict[Resource, Set[Flow]] = defaultdict(set)
-        self._active: Set[Flow] = set()
+        self._fidn = self._fid.__next__
         self._port_cap = params.injection_bandwidth
         self._chan_cap = params.channel_bandwidth
+        #: interning tables: resource tuple <-> dense integer id
+        self._res_index: Dict[Resource, int] = {}
+        self._res_list: List[Resource] = []
+        self._res_cap: List[float] = []
+        #: rid -> insertion-ordered dict of flows currently crossing it
+        self._res_flows: List[Dict[Flow, None]] = []
+        #: scratch stamps/positions for component walks and water-filling
+        self._bfs_rstamp: List[int] = []
+        self._wf_rstamp: List[int] = []
+        self._wf_rpos: List[int] = []
+        self._stamp = 0
+        #: (src, dst) -> tuple of interned resource ids
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._active: Dict[Flow, None] = {}
         #: statistics
         self.flows_started = 0
         self.bytes_carried = 0.0
@@ -115,29 +194,35 @@ class FluidNetwork:
     # ------------------------------------------------------------------
 
     def start_flow(self, src: int, dst: int, nbytes: float, now: float,
-                   on_complete: Callable[[float], None]) -> Flow:
+                   on_complete) -> Flow:
         """Begin streaming ``nbytes`` from src to dst at time ``now``.
 
-        ``on_complete(t)`` is called exactly once, at the simulated time
-        the last byte arrives.  The ``alpha`` latency is *not* charged
-        here — the engine charges it before starting the flow, matching
-        the paper's ``alpha + n*beta`` decomposition.
+        ``on_complete`` is an opaque completion token: when the last
+        byte arrives (exactly once) the network invokes the ``complete``
+        callback it was constructed with as ``complete(token, t)``.
+        Without an explicit ``complete`` the token must itself be a
+        callable and is invoked as ``token(t)``.  The ``alpha`` latency
+        is *not* charged here — the engine charges it before starting
+        the flow, matching the paper's ``alpha + n*beta`` decomposition.
         """
         if src == dst:
             raise ValueError("self-sends never enter the network")
-        if nbytes <= 0 or self._port_cap == math.inf:
+        if nbytes <= 0 or self._port_cap == _INF:
             # Zero-length messages, or an idealized beta == 0 machine:
             # the transfer completes instantly.
-            self._schedule(now, lambda: on_complete(now))
-            return Flow(next(self._fid), src, dst, (), 0.0,
+            self._schedule(now, lambda: self._complete(on_complete, now))
+            return Flow(self._fidn(), src, dst, (), 0.0,
                         on_complete, now)
 
-        route = self._route_resources(src, dst)
-        flow = Flow(next(self._fid), src, dst, route, nbytes,
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = self._intern_route(src, dst)
+        flow = Flow(self._fidn(), src, dst, route, nbytes,
                     on_complete, now)
-        self._active.add(flow)
-        for r in route:
-            self._res_flows[r].add(flow)
+        self._active[flow] = None
+        res_flows = self._res_flows
+        for rid in route:
+            res_flows[rid][flow] = None
         self.flows_started += 1
         self.bytes_carried += nbytes
         self._recompute_component(flow, now)
@@ -146,16 +231,36 @@ class FluidNetwork:
     def active_flow_count(self) -> int:
         return len(self._active)
 
+    def resources_of(self, flow: Flow) -> Tuple[Resource, ...]:
+        """The resource tuples of a flow's route (un-interned view)."""
+        return tuple(self._res_list[rid] for rid in flow.route)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _route_resources(self, src: int, dst: int) -> Tuple[Resource, ...]:
+    def _intern_route(self, src: int, dst: int) -> Tuple[int, ...]:
         chans = self.topology.route(src, dst)
         res: List[Resource] = [("inj", src)]
         res.extend(("ch",) + ch for ch in chans)
         res.append(("ej", dst))
-        return tuple(res)
+        route = tuple(self._intern(r) for r in res)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _intern(self, r: Resource) -> int:
+        rid = self._res_index.get(r)
+        if rid is None:
+            rid = len(self._res_list)
+            self._res_index[r] = rid
+            self._res_list.append(r)
+            self._res_cap.append(
+                self._port_cap if r[0] in ("inj", "ej") else self._chan_cap)
+            self._res_flows.append({})
+            self._bfs_rstamp.append(0)
+            self._wf_rstamp.append(0)
+            self._wf_rpos.append(0)
+        return rid
 
     def _capacity(self, r: Resource) -> float:
         return self._port_cap if r[0] in ("inj", "ej") else self._chan_cap
@@ -165,36 +270,73 @@ class FluidNetwork:
 
         When the seed has just been removed from the network, the
         component is seeded from its route's resources so that the flows
-        it was sharing with get their rates raised.
+        it was sharing with get their rates raised.  Flows are returned
+        in deterministic discovery order.
         """
-        seen: Set[Flow] = set()
-        res_seen: Set[Resource] = set()
-        flow_stack: List[Flow] = [seed] if seed in self._active else []
-        res_stack: List[Resource] = list(seed.route)
+        self._stamp += 1
+        stamp = self._stamp
+        rstamp = self._bfs_rstamp
+        res_flows = self._res_flows
+        comp: List[Flow] = []
+        flow_stack: List[Flow] = []
+        if seed in self._active:
+            seed._cstamp = stamp
+            flow_stack.append(seed)
+        res_stack: List[int] = list(seed.route)
         while flow_stack or res_stack:
             if flow_stack:
                 f = flow_stack.pop()
-                if f in seen:
-                    continue
-                seen.add(f)
-                for r in f.route:
-                    if r not in res_seen:
-                        res_stack.append(r)
+                comp.append(f)
+                for rid in f.route:
+                    if rstamp[rid] != stamp:
+                        res_stack.append(rid)
             else:
-                r = res_stack.pop()
-                if r in res_seen:
+                rid = res_stack.pop()
+                if rstamp[rid] == stamp:
                     continue
-                res_seen.add(r)
-                for f in self._res_flows.get(r, ()):
-                    if f not in seen:
+                rstamp[rid] = stamp
+                for f in res_flows[rid]:
+                    if f._cstamp != stamp:
+                        f._cstamp = stamp
                         flow_stack.append(f)
-        return list(seen)
+        return comp
 
     def _recompute_component(self, seed: Flow, now: float) -> None:
         """Re-run water-filling for the component touched by ``seed``."""
-        comp = self._component(seed)
-        if not comp:
-            return
+        res_flows = self._res_flows
+        if seed in self._active:
+            # Fast path: the seed shares no resource with any other flow
+            # (the common conflict-free case) — its rate is the minimum
+            # of its resources' full capacities, exactly what the
+            # general progressive filling would compute for a singleton
+            # component.
+            for rid in seed.route:
+                if len(res_flows[rid]) > 1:
+                    break
+            else:
+                self.rate_recomputations += 1
+                seed.settle(now)
+                cap = self._res_cap
+                rate = _INF
+                for rid in seed.route:
+                    c = cap[rid]
+                    if c < rate:
+                        rate = c
+                seed.rate = rate
+                self._reschedule(seed, now)
+                return
+            comp = self._component(seed)
+        else:
+            # Fast path: the seed has just been removed and none of its
+            # resources carry another flow — nothing to recompute.
+            for rid in seed.route:
+                if res_flows[rid]:
+                    break
+            else:
+                return
+            comp = self._component(seed)
+            if not comp:
+                return
         self.rate_recomputations += 1
         # Settle transferred bytes at the old rates before changing them.
         for f in comp:
@@ -202,83 +344,111 @@ class FluidNetwork:
 
         # Progressive filling (max-min fairness).  Only the resources used
         # by component flows matter; by construction no flow outside the
-        # component crosses them.
-        res_caps: Dict[Resource, float] = {}
-        res_counts: Dict[Resource, int] = {}
+        # component crosses them.  Capacities and counts live in scratch
+        # arrays indexed by first-seen position; the arithmetic (one
+        # division per resource per scan, one clamped subtraction per
+        # fixed flow per resource) is identical to the textbook
+        # formulation, so results match it bit-for-bit.
+        self._stamp += 1
+        stamp = self._stamp
+        rstamp = self._wf_rstamp
+        rpos = self._wf_rpos
+        cap_full = self._res_cap
+        rids: List[int] = []
+        caps: List[float] = []
+        cnts: List[int] = []
         for f in comp:
-            for r in f.route:
-                if r not in res_caps:
-                    res_caps[r] = self._capacity(r)
-                    res_counts[r] = 0
-                res_counts[r] += 1
+            for rid in f.route:
+                if rstamp[rid] != stamp:
+                    rstamp[rid] = stamp
+                    rpos[rid] = len(rids)
+                    rids.append(rid)
+                    caps.append(cap_full[rid])
+                    cnts.append(1)
+                else:
+                    cnts[rpos[rid]] += 1
 
-        unfixed: Set[Flow] = set(comp)
-        while unfixed:
-            bottleneck_share = math.inf
-            bottleneck: Optional[Resource] = None
-            for r, cnt in res_counts.items():
-                if cnt <= 0:
-                    continue
-                share = res_caps[r] / cnt
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    bottleneck = r
-            if bottleneck is None:
+        nleft = len(comp)
+        nres = len(rids)
+        while nleft:
+            bottleneck_share = _INF
+            bottleneck = -1
+            for i in range(nres):
+                c = cnts[i]
+                if c > 0:
+                    share = caps[i] / c
+                    if share < bottleneck_share:
+                        bottleneck_share = share
+                        bottleneck = i
+            if bottleneck < 0:
                 # No constraining resources left (cannot happen while
                 # unfixed flows remain, since every flow crosses >= 2
                 # resources) — defensive break.
-                for f in unfixed:
-                    f.rate = math.inf
+                for f in comp:
+                    if f._fstamp != stamp:
+                        f._fstamp = stamp
+                        f.rate = _INF
                 break
-            for f in list(self._res_flows[bottleneck]):
-                if f in unfixed:
+            for f in list(res_flows[rids[bottleneck]]):
+                if f._fstamp != stamp:
+                    f._fstamp = stamp
                     f.rate = bottleneck_share
-                    unfixed.discard(f)
-                    for r in f.route:
-                        res_caps[r] -= bottleneck_share
-                        if res_caps[r] < 0.0:
-                            res_caps[r] = 0.0
-                        res_counts[r] -= 1
+                    nleft -= 1
+                    for rid in f.route:
+                        i = rpos[rid]
+                        nc = caps[i] - bottleneck_share
+                        caps[i] = nc if nc > 0.0 else 0.0
+                        cnts[i] -= 1
 
         # Reschedule completion events at the new rates.
         for f in comp:
-            f.epoch += 1
-            t = f.eta(now)
-            if t != math.inf:
-                self._schedule(t, self._make_completion(f, f.epoch, t))
+            self._reschedule(f, now)
 
-    def _make_completion(self, flow: Flow, epoch: int,
-                         when: float) -> Callable[[], None]:
-        def fire() -> None:
-            if flow.epoch != epoch or flow not in self._active:
-                return  # stale event from before a rate change
-            # settle and verify the flow really drained
-            flow.settle(when)
-            if flow.remaining > _EPS_BYTES:
-                # Floating-point residue: a few bytes remain because the
-                # settle arithmetic differs slightly from the eta that
-                # scheduled this event.  Stream the tail out rather than
-                # waiting for an event that may never come — unless the
-                # tail is so small that its ETA cannot advance the clock,
-                # in which case the flow is done for all purposes.
-                flow.epoch += 1
-                t = flow.eta(when)
-                advances = t > when + 1e-12 * max(1.0, abs(when))
-                if t != math.inf and advances:
-                    self._schedule(t, self._make_completion(
-                        flow, flow.epoch, t))
-                    return
-                flow.remaining = 0.0
-            self._remove(flow)
-            self._recompute_component(flow, when)
-            flow.on_complete(when)
-        return fire
+    def _reschedule(self, flow: Flow, now: float) -> None:
+        """Schedule the flow's completion — unless an event carrying the
+        flow's current epoch is already pending at the bit-identical
+        time, in which case that event is kept (completion behaviour is
+        unchanged: the handler settles from current state)."""
+        t = flow.eta(now)
+        if t == flow._sched_at and flow._sched_epoch == flow.epoch:
+            return
+        flow.epoch += 1
+        if t != _INF:
+            flow._sched_at = t
+            flow._sched_epoch = flow.epoch
+            self._schedule_completion(t, flow, flow.epoch)
+        else:
+            flow._sched_at = -1.0
+            flow._sched_epoch = -1
+
+    def fire_completion(self, flow: Flow, epoch: int, when: float) -> None:
+        """Handle a scheduled completion event (engine callback)."""
+        if flow.epoch != epoch or flow not in self._active:
+            return  # stale event from before a rate change
+        # settle and verify the flow really drained
+        flow.settle(when)
+        if flow.remaining > _EPS_BYTES:
+            # Floating-point residue: a few bytes remain because the
+            # settle arithmetic differs slightly from the eta that
+            # scheduled this event.  Stream the tail out rather than
+            # waiting for an event that may never come — unless the
+            # tail is so small that its ETA cannot advance the clock,
+            # in which case the flow is done for all purposes.
+            flow.epoch += 1
+            t = flow.eta(when)
+            advances = t > when + 1e-12 * max(1.0, abs(when))
+            if t != _INF and advances:
+                flow._sched_at = t
+                flow._sched_epoch = flow.epoch
+                self._schedule_completion(t, flow, flow.epoch)
+                return
+            flow.remaining = 0.0
+        self._remove(flow)
+        self._recompute_component(flow, when)
+        self._complete(flow.on_complete, when)
 
     def _remove(self, flow: Flow) -> None:
-        self._active.discard(flow)
-        for r in flow.route:
-            s = self._res_flows.get(r)
-            if s is not None:
-                s.discard(flow)
-                if not s:
-                    del self._res_flows[r]
+        self._active.pop(flow, None)
+        res_flows = self._res_flows
+        for rid in flow.route:
+            res_flows[rid].pop(flow, None)

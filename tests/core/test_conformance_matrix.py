@@ -1,0 +1,161 @@
+"""Conformance matrix: operation x algorithm x group size x group shape.
+
+Runs every Table 1 operation under each algorithm override on groups of
+p in {3, 7, 12, 30} nodes carved out of a 64-node mesh three ways —
+contiguous prefix, strided line, random subset — and checks the data
+each member ends up with against the sequential oracles of
+:mod:`repro.core.validation`.
+
+This is the semantic safety net for engine/network performance work:
+the golden gate (tests/sim) pins *timing*, this matrix pins *data
+movement* over the group-mapping machinery.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.core import validation as V
+from repro.core.partition import partition_sizes
+from repro.sim import Machine, Mesh2D, UNIT
+
+_MESH = (8, 8)
+_NNODES = _MESH[0] * _MESH[1]
+_N = 72  # total vector length; uneven over p=7 and p=30 on purpose
+
+P_VALUES = [3, 7, 12, 30]
+SHAPES = ["contiguous", "strided", "random"]
+ALGOS = ["auto", "short", "long"]
+
+_ALG_OPS = ["bcast", "reduce", "allreduce", "collect", "reduce_scatter"]
+_PLAIN_OPS = ["scatter", "gather"]  # single (MST) algorithm by design
+
+CASES = ([(op, alg) for op in _ALG_OPS for alg in ALGOS]
+         + [(op, None) for op in _PLAIN_OPS])
+
+
+def _group(shape, p):
+    if shape == "contiguous":
+        return list(range(p))
+    if shape == "strided":
+        return list(range(1, 1 + 2 * p, 2))
+    rng = random.Random(10_000 + p)
+    return rng.sample(range(_NNODES), p)
+
+
+def _vec(j, n):
+    """Deterministic per-logical-rank payload."""
+    return np.arange(n, dtype=np.float64) * (j % 5 + 1) + 3 * j
+
+
+def _run_on_group(op, alg, g):
+    gset = set(g)
+    p = len(g)
+    sizes = partition_sizes(_N, p)
+
+    def prog(env):
+        if env.rank not in gset:
+            return None
+        me = g.index(env.rank)
+        if op == "bcast":
+            buf = _vec(0, _N) if me == 0 else None
+            out = yield from api.bcast(env, buf, root=0, group=g,
+                                       total=_N, algorithm=alg)
+        elif op == "reduce":
+            out = yield from api.reduce(env, _vec(me, _N), op="sum",
+                                        root=0, group=g, algorithm=alg)
+        elif op == "allreduce":
+            out = yield from api.allreduce(env, _vec(me, _N), op="sum",
+                                           group=g, algorithm=alg)
+        elif op == "collect":
+            out = yield from api.collect(env, _vec(me, sizes[me]),
+                                         sizes=sizes, group=g,
+                                         algorithm=alg)
+        elif op == "reduce_scatter":
+            out = yield from api.reduce_scatter(env, _vec(me, _N),
+                                                op="sum", sizes=sizes,
+                                                group=g, algorithm=alg)
+        elif op == "scatter":
+            buf = _vec(0, _N) if me == 0 else None
+            out = yield from api.scatter(env, buf, root=0, group=g,
+                                         total=_N, sizes=sizes)
+        elif op == "gather":
+            out = yield from api.gather(env, _vec(me, sizes[me]),
+                                        root=0, group=g, sizes=sizes)
+        else:  # pragma: no cover
+            raise AssertionError(op)
+        return out
+
+    return Machine(Mesh2D(*_MESH), UNIT).run(prog), sizes
+
+
+def _reference(op, p, sizes):
+    if op == "bcast":
+        return V.ref_bcast(_vec(0, _N), p)
+    if op == "reduce":
+        return V.ref_reduce([_vec(j, _N) for j in range(p)], "sum", root=0)
+    if op == "allreduce":
+        return V.ref_allreduce([_vec(j, _N) for j in range(p)], "sum")
+    if op == "collect":
+        return V.ref_collect([_vec(j, sizes[j]) for j in range(p)])
+    if op == "reduce_scatter":
+        return V.ref_reduce_scatter([_vec(j, _N) for j in range(p)],
+                                    "sum", sizes=sizes)
+    if op == "scatter":
+        return V.ref_scatter(_vec(0, _N), p, sizes=sizes)
+    if op == "gather":
+        return V.ref_gather([_vec(j, sizes[j]) for j in range(p)], root=0)
+    raise AssertionError(op)  # pragma: no cover
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("p", P_VALUES)
+@pytest.mark.parametrize("op,alg", CASES,
+                         ids=[f"{o}-{a}" if a else o for o, a in CASES])
+def test_matches_oracle(op, alg, p, shape):
+    g = _group(shape, p)
+    run, sizes = _run_on_group(op, alg, g)
+    refs = _reference(op, p, sizes)
+
+    # non-members must be untouched
+    gset = set(g)
+    for node in range(_NNODES):
+        if node not in gset:
+            assert run.results[node] is None
+
+    exact = op in ("bcast", "collect", "scatter", "gather")
+    for j, node in enumerate(g):
+        got, want = run.results[node], refs[j]
+        if want is None:
+            assert got is None, (op, alg, p, shape, j)
+            continue
+        assert got is not None, (op, alg, p, shape, j)
+        assert got.shape == want.shape, (op, alg, p, shape, j)
+        if exact:
+            assert np.array_equal(got, want), (op, alg, p, shape, j)
+        else:
+            # combine-tree order differs from the sequential oracle
+            assert np.allclose(got, want, rtol=1e-12, atol=0.0), \
+                (op, alg, p, shape, j)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("p", P_VALUES)
+def test_barrier_synchronizes(p, shape):
+    g = _group(shape, p)
+    gset = set(g)
+
+    def prog(env):
+        if env.rank not in gset:
+            return None
+        yield env.delay(float(g.index(env.rank)))  # staggered arrival
+        yield from api.barrier(env, group=g)
+        return env.now
+
+    run = Machine(Mesh2D(*_MESH), UNIT).run(prog)
+    leave_times = [run.results[node] for node in g]
+    assert all(t is not None for t in leave_times)
+    # nobody may leave before the slowest member arrived at t = p-1
+    assert min(leave_times) >= p - 1

@@ -1,0 +1,61 @@
+"""Golden-equivalence gate for the simulator's performance work.
+
+Replays the frozen corpus (:mod:`tests.sim.spmd_corpus`) and compares
+bit-exact fingerprints — elapsed time, message count, trace hash,
+result hash — against ``tests/sim/goldens/corpus_v1.json``.  Any
+optimization of :mod:`repro.sim.engine` / :mod:`repro.sim.network` that
+changes a *simulated* quantity (as opposed to wall-clock speed) fails
+here.
+
+Also pins run-to-run determinism: two runs of the same program in one
+process must produce byte-identical order-preserving trace streams
+(stronger than the golden compare, which is order-insensitive for
+same-timestamp records).
+"""
+
+import json
+
+import pytest
+
+from tests.sim import spmd_corpus as corpus
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(corpus.GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+def test_golden_file_covers_exactly_the_corpus(goldens):
+    assert sorted(goldens) == sorted(corpus.CORPUS)
+
+
+@pytest.mark.parametrize("name", sorted(corpus.CORPUS))
+def test_simulated_results_match_golden(name, goldens):
+    got = corpus.fingerprint(corpus.run_entry(name))
+    want = goldens[name]
+    assert got == want, (
+        f"simulated behaviour of corpus entry {name!r} changed; "
+        "performance refactors must keep results bit-identical "
+        "(if the model itself intentionally changed, regenerate with "
+        "`PYTHONPATH=src python -m tests.sim.spmd_corpus --write`)")
+
+
+#: entries exercising every event-ordering hot spot: heavy same-time
+#: completions (mesh/auto), group mappings, and adversarial rate churn.
+_DETERMINISM_ENTRIES = [
+    "collect-long-p12",
+    "allreduce-auto-mesh4x6",
+    "bcast-auto-subset",
+    "ptp-churn-mesh5x5",
+]
+
+
+@pytest.mark.parametrize("name", _DETERMINISM_ENTRIES)
+def test_run_to_run_determinism(name):
+    a = corpus.run_entry(name)
+    b = corpus.run_entry(name)
+    assert repr(a.time) == repr(b.time)
+    assert a.messages == b.messages
+    assert corpus.trace_stream(a) == corpus.trace_stream(b)
+    assert corpus.canonical_results(a) == corpus.canonical_results(b)

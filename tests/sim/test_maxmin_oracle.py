@@ -16,8 +16,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import (FullyConnected, LinearArray, Machine, Mesh2D,
-                       MachineParams, Ring, Torus2D, UNIT)
+from repro.sim import (FullyConnected, Hypercube, LinearArray, Machine,
+                       Mesh2D, MachineParams, Ring, Torus2D, UNIT)
 
 
 def global_maxmin(flows, capacity):
@@ -158,6 +158,57 @@ def test_fluid_network_matches_global_oracle(topology, capacity, seed):
     for key in want:
         assert got[key] == pytest.approx(want[key], rel=1e-6), \
             (key, sends)
+
+
+# ----------------------------------------------------------------------
+# property-based fuzzing (hypothesis): the incremental component-
+# restricted recomputation must agree with brute-force global
+# progressive filling on arbitrary concurrent patterns
+# ----------------------------------------------------------------------
+
+_HYP_TOPOLOGIES = [
+    Mesh2D(3, 3), Mesh2D(2, 5), Mesh2D(4, 4),
+    Torus2D(3, 3), Torus2D(3, 4),
+    Hypercube(3), Hypercube(4),
+]
+
+
+@st.composite
+def _flow_patterns(draw):
+    topo_idx = draw(st.integers(0, len(_HYP_TOPOLOGIES) - 1))
+    topo = _HYP_TOPOLOGIES[topo_idx]
+    n = topo.nnodes
+    npairs = draw(st.integers(min_value=2, max_value=14))
+    raw = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.sampled_from([16, 128, 777, 2048, 30_000])),
+        min_size=npairs, max_size=npairs))
+    seen = set()
+    sends = []
+    for s, d, nb in raw:
+        if s != d and (s, d) not in seen:
+            seen.add((s, d))
+            sends.append((s, d, nb))
+    capacity = draw(st.sampled_from([1.0, 2.0, 4.0]))
+    return topo, capacity, sends
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=_flow_patterns())
+def test_property_incremental_matches_bruteforce_filling(pattern):
+    """Random concurrent flows on mesh/torus/hypercube machines finish
+    at the same instants under the production incremental network and
+    the brute-force global water-filling oracle."""
+    topo, capacity, sends = pattern
+    if not sends:
+        return
+    params = UNIT.with_(link_capacity=capacity)
+    got = run_sends(topo, params, sends)
+    want = oracle_completion_times(topo, params, sends)
+    assert set(got) == set(want)
+    for key in want:
+        assert got[key] == pytest.approx(want[key], rel=1e-6), \
+            (key, topo, capacity, sends)
 
 
 def test_oracle_sanity_single_flow():

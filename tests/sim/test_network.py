@@ -6,11 +6,16 @@ split it max-min fairly; the Paragon's excess link capacity lets several
 messages coexist penalty-free.
 """
 
+import heapq
+import itertools
+import random
+
 import numpy as np
 import pytest
 
 from repro.sim import (FullyConnected, LinearArray, Machine, Mesh2D,
                        MachineParams, UNIT)
+from repro.sim.network import _EPS_BYTES, Flow, FluidNetwork
 
 
 def timed_sends(machine, sends, nbytes):
@@ -213,3 +218,102 @@ class TestZeroByteAndEdgeCases:
         run = m.run(prog)
         assert run.messages == 2
         assert run.bytes_moved == pytest.approx(30.0)
+
+
+class TestFloatDriftClamp:
+    """Regression tests for the ``Flow.settle`` epsilon clamp.
+
+    Repeated rate changes settle a flow many times; the subtractions can
+    underflow to a tiny positive or *negative* remainder.  Before the
+    clamp, such a stale sub-epsilon residue could keep a "live" flow
+    whose eta() no longer advances the clock, scheduling zero-duration
+    completion epochs.  ``settle`` now snaps any residue below
+    ``_EPS_BYTES`` to exactly zero.
+    """
+
+    def test_settle_clamps_negative_drift_to_exact_zero(self):
+        f = Flow(0, 0, 1, (), 0.3, lambda t: None, 0.0)
+        f.rate = 0.1
+        for k in range(1, 4):          # 0.3 - 3*0.1 < 0 in binary fp
+            f.settle(float(k))
+        assert f.remaining == 0.0      # exactly, not approximately
+        assert f.eta(3.0) == 3.0
+
+    def test_settle_clamps_subeps_residue_to_exact_zero(self):
+        f = Flow(0, 0, 1, (), 1.0, lambda t: None, 0.0)
+        f.rate = 1.0 / 3.0
+        f.settle(2.9999999999999996)   # leaves ~2e-16 bytes
+        assert f.remaining == 0.0
+
+    def test_settle_keeps_real_residue(self):
+        f = Flow(0, 0, 1, (), 100.0, lambda t: None, 0.0)
+        f.rate = 1.0
+        f.settle(40.0)
+        assert f.remaining == pytest.approx(60.0)
+        assert f.remaining > _EPS_BYTES
+
+    def _drive_standalone(self, topo, specs):
+        """Run flows on a bare FluidNetwork under a minimal event loop;
+        returns {(src, dst): [completion times]} and the event count."""
+        heap = []
+        ctr = itertools.count()
+
+        def schedule(t, cb):
+            heapq.heappush(heap, (t, next(ctr), cb))
+
+        net = FluidNetwork(topo, UNIT, schedule)
+        fired = {}
+
+        def make_cb(key):
+            def cb(t):
+                fired.setdefault(key, []).append(t)
+            return cb
+
+        for s, d, nb in specs:
+            net.start_flow(s, d, float(nb), 0.0, make_cb((s, d)))
+        steps = 0
+        limit = 20 * len(specs) + 50
+        while heap:
+            steps += 1
+            assert steps < limit, "completion-event spin (stale epochs?)"
+            _, _, cb = heapq.heappop(heap)
+            cb()
+        return net, fired, steps
+
+    def test_adversarial_shared_channel_fires_each_flow_once(self):
+        # four flows of coprime sizes through one channel: every finish
+        # re-rates the rest (1/4 -> 1/3 -> 1/2 -> 1), settling repeatedly
+        specs = [(0, 4, 61), (1, 5, 233), (2, 6, 397), (3, 7, 1009)]
+        net, fired, _ = self._drive_standalone(LinearArray(8), specs)
+        assert sorted(fired) == sorted((s, d) for s, d, _ in specs)
+        assert all(len(v) == 1 for v in fired.values())
+        assert net.active_flow_count() == 0
+
+    def test_engine_rate_churn_bounded_events(self):
+        # Dense random overlap: many mid-flight rate changes, fractional
+        # shares.  Every message must complete and the event count must
+        # stay linear in the message count (no zero-duration epochs).
+        rng = random.Random(5)
+        pairs = set()
+        sends = []
+        for _ in range(60):
+            s, d = rng.randrange(10), rng.randrange(10)
+            if s != d and (s, d) not in pairs:
+                pairs.add((s, d))
+                sends.append((s, d, rng.choice([61, 233, 997, 4093])))
+        m = Machine(LinearArray(10), UNIT)
+
+        def prog(env):
+            reqs = []
+            for s, d, nb in sends:
+                if env.rank == s:
+                    reqs.append(env.isend(d, np.zeros(nb, dtype=np.uint8)))
+            for s, d, nb in sends:
+                if env.rank == d:
+                    reqs.append(env.irecv(s))
+            if reqs:
+                yield env.waitall(*reqs)
+
+        run = m.run(prog)
+        assert run.messages == len(sends)
+        assert run.events <= 20 * run.messages + 4 * 10
