@@ -1,6 +1,9 @@
 """Experiment harness: sweeps, tables, and ASCII/CSV figure output."""
 
 from .ascii_plot import plot_series, series_to_rows
+from .critpath import (CritSpan, critical_path,
+                       critical_path_summary,
+                       render_critical_path)
 from .calibrate import (calibrate, fit_alpha_beta, measure_gamma,
                         measure_overhead, measure_pingpong)
 from .sweep import (OPERATION_PROGRAMS, Series, TABLE3_LENGTHS, byte_grid,
@@ -11,6 +14,8 @@ from .timeline import render_timeline, utilization
 
 __all__ = [
     "plot_series", "series_to_rows",
+    "CritSpan", "critical_path", "critical_path_summary",
+    "render_critical_path",
     "calibrate", "fit_alpha_beta", "measure_gamma", "measure_overhead",
     "measure_pingpong",
     "OPERATION_PROGRAMS", "Series", "TABLE3_LENGTHS", "byte_grid",

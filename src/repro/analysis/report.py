@@ -7,6 +7,16 @@ values alongside — the machine-generated companion to EXPERIMENTS.md.
 Usage::
 
     python -m repro.analysis.report [bench_results_dir] [output.md]
+
+The ``--trace`` mode instead runs one instrumented collective and
+exports it for a trace viewer (docs/observability.md)::
+
+    python -m repro.analysis.report --trace bcast --p 30 --bytes 8192 \\
+        --params PARAGON --out bcast.trace.json
+
+which writes a Chrome-trace/Perfetto JSON of the stage spans and
+message transfers, and prints the critical path plus the busiest
+channels to stdout.
 """
 
 from __future__ import annotations
@@ -136,8 +146,105 @@ def build_report(results_dir: str) -> str:
     return "\n".join(parts)
 
 
+# ----------------------------------------------------------------------
+# --trace: run one instrumented collective and export it
+# ----------------------------------------------------------------------
+
+#: --trace scenario name -> rank-program factory (built lazily so the
+#: CSV report path stays import-light)
+TRACE_OPS = ("bcast", "reduce", "allreduce", "collect", "reduce_scatter")
+
+
+def run_traced_scenario(op: str, p: int, nbytes: int,
+                        params_name: str = "PARAGON",
+                        algorithm: str = "auto"):
+    """Run ``op`` on a ``p``-node linear array with spans + metrics on.
+
+    Returns the :class:`~repro.sim.machine.RunResult`.
+    """
+    import numpy as np
+
+    from ..core import api
+    from ..sim.machine import Machine
+    from ..sim.params import preset
+    from ..sim.topology import LinearArray
+
+    if op not in TRACE_OPS:
+        raise SystemExit(f"unknown op {op!r}; known: {', '.join(TRACE_OPS)}")
+    n = max(nbytes // 8, 1)
+
+    def program(env):
+        if op == "bcast":
+            buf = np.arange(n, dtype=np.float64) if env.rank == 0 else None
+            yield from api.bcast(env, buf, root=0, total=n,
+                                 algorithm=algorithm)
+        else:
+            vec = np.full(n, float(env.rank + 1))
+            if op == "collect":
+                block = np.array_split(vec, env.nranks)[env.rank]
+                sizes = [len(b) for b in np.array_split(vec, env.nranks)]
+                yield from api.collect(env, block, sizes=sizes,
+                                       algorithm=algorithm)
+            else:
+                fn = getattr(api, op)
+                yield from fn(env, vec, algorithm=algorithm)
+        return None
+
+    machine = Machine(LinearArray(p), preset(params_name))
+    return machine.run(program, trace=True, metrics=True)
+
+
+def trace_main(op: str, p: int, nbytes: int, params_name: str,
+               algorithm: str, out_path: str, timescale: float) -> int:
+    from ..obs.metrics import busiest
+    from ..sim.params import preset
+    from ..sim.trace import write_chrome_trace
+    from .critpath import critical_path, render_critical_path
+
+    res = run_traced_scenario(op, p, nbytes, params_name, algorithm)
+    write_chrome_trace(res.trace, out_path, timescale=timescale)
+    print(f"{op} p={p} nbytes={nbytes} [{params_name}]: "
+          f"t={res.time:g}, {res.trace.message_count()} messages, "
+          f"{len(res.trace.closed_spans())} spans")
+    print(f"wrote {out_path} (open in chrome://tracing or "
+          f"ui.perfetto.dev)")
+    alpha = preset(params_name).alpha
+    print("\ncritical path:")
+    print(render_critical_path(critical_path(res.trace, alpha=alpha)))
+    hot = busiest(res.channel_metrics or {}, k=5)
+    if hot:
+        print("\nbusiest resources:")
+        for st in hot:
+            print(f"  {st.resource}: busy={st.busy_time:g} "
+                  f"bytes={st.bytes:g} peak_flows={st.max_concurrent} "
+                  f"sharing={st.sharing_factor:.2f}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--trace" in argv:
+        import argparse
+        ap = argparse.ArgumentParser(
+            prog="python -m repro.analysis.report",
+            description="export one instrumented collective as a "
+                        "Chrome trace")
+        ap.add_argument("--trace", metavar="OP", choices=TRACE_OPS,
+                        required=True, help="collective to run")
+        ap.add_argument("--p", type=int, default=30, help="group size")
+        ap.add_argument("--bytes", type=int, default=8192,
+                        dest="nbytes", help="vector size in bytes")
+        ap.add_argument("--params", default="PARAGON",
+                        help="machine parameter preset")
+        ap.add_argument("--algorithm", default="auto")
+        ap.add_argument("--out", default=None,
+                        help="output JSON path (default OP.trace.json)")
+        ap.add_argument("--timescale", type=float, default=1e6,
+                        help="simulated seconds -> trace microseconds")
+        ns = ap.parse_args(argv)
+        out = ns.out or f"{ns.trace}.trace.json"
+        return trace_main(ns.trace, ns.p, ns.nbytes, ns.params,
+                          ns.algorithm, out, ns.timescale)
     results_dir = argv[0] if argv else "bench_results"
     out_path = argv[1] if len(argv) > 1 else os.path.join(
         results_dir, "REPORT.md")

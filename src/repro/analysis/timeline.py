@@ -23,7 +23,10 @@ def _bins(t0: float, t1: float, width: int, lo: float, hi: float
           ) -> range:
     """Column indices covered by the interval [t0, t1)."""
     if hi <= lo:
-        return range(0)
+        # Degenerate run: every event at one instant (zero-byte traffic
+        # under alpha=0 models).  Each transfer still gets one column so
+        # the lanes show who communicated instead of rendering all-idle.
+        return range(0, min(1, width))
     a = int((t0 - lo) / (hi - lo) * width)
     b = int(math.ceil((t1 - lo) / (hi - lo) * width))
     return range(max(a, 0), min(max(b, a + 1), width))

@@ -72,10 +72,49 @@ def _mesh_shape(ctx: CollContext) -> Optional[Tuple[int, int]]:
     return None
 
 
+#: itemsize every rank assumes when no dtype is declared (float64).
+#: Part of the SPMD contract: ``algorithm="auto"`` prices candidate
+#: strategies with ``n * itemsize`` bytes, so *every* group member must
+#: price with the same itemsize or different ranks can resolve
+#: different strategies — mismatched send/recv patterns, i.e. a hang or
+#: corruption.  Deriving the default from a local buffer is therefore
+#: forbidden for any operation where some ranks lack the buffer
+#: (broadcast: only the root holds data).
+DEFAULT_ITEMSIZE = 8
+
+
+def _agreed_itemsize(dtype) -> int:
+    """Itemsize of the *declared* element type (group-wide contract).
+
+    SPMD asymmetry audit of the seven operations:
+
+    * ``bcast`` — only the root holds ``buf``; the itemsize MUST come
+      from the declared ``dtype=`` (or the fixed default), never from
+      the root's buffer (the historical ``itemsize=8``-at-non-root
+      hardcode made ranks disagree for non-float64 payloads).
+    * ``reduce`` / ``allreduce`` / ``collect`` / ``reduce_scatter`` —
+      every rank holds a local vector and element-wise semantics
+      already require identical dtypes group-wide, so deriving the
+      itemsize from the local vector is rank-symmetric.  A ``dtype=``
+      override is accepted anyway for callers that want the contract
+      explicit.
+    * ``scatter`` / ``gather`` — no auto dispatch (the MST algorithm is
+      optimal in both regimes); nothing to agree on.
+    """
+    if dtype is None:
+        return DEFAULT_ITEMSIZE
+    return np.dtype(dtype).itemsize
+
+
 def resolve_strategy(ctx: CollContext, operation: str,
                      algorithm: AlgorithmSpec, n: int,
                      itemsize: int) -> Strategy:
-    """Turn an algorithm spec into a concrete strategy for this group."""
+    """Turn an algorithm spec into a concrete strategy for this group.
+
+    ``itemsize`` must be rank-agreed (see :func:`_agreed_itemsize`):
+    it feeds the cost model, and the chosen strategy dictates the
+    communication pattern every member executes.
+    """
     p = ctx.size
     if isinstance(algorithm, Strategy):
         return algorithm
@@ -97,12 +136,19 @@ def resolve_strategy(ctx: CollContext, operation: str,
 def bcast(env, buf: Optional[np.ndarray], root: int = 0, *,
           group: Optional[Sequence[int]] = None,
           total: Optional[int] = None,
+          dtype=None,
           algorithm: AlgorithmSpec = "auto",
           tag: int = 0) -> Generator:
     """Broadcast: ``x`` at the root, ``x`` at every group member after.
 
     ``total`` (vector length, elements) must be passed at non-root ranks
-    — lengths are assumed known, as in the original library.
+    — lengths are assumed known, as in the original library.  ``dtype``
+    declares the element type at *every* rank; like ``total`` it is part
+    of the agreed collective contract, feeding ``algorithm="auto"``
+    strategy selection so that all ranks price — and therefore pick —
+    the same strategy.  Defaults to float64 consistently on every rank
+    (the root's local buffer dtype is deliberately not consulted: only
+    the root has one).
     """
     ctx = _context(env, group, tag)
     me = ctx.require_member()
@@ -110,39 +156,61 @@ def bcast(env, buf: Optional[np.ndarray], root: int = 0, *,
         if me != root:
             raise ValueError("bcast needs total= at non-root ranks")
         total = len(buf)
-    itemsize = buf.dtype.itemsize if (me == root and buf is not None) else 8
+    if (dtype is not None and me == root and buf is not None
+            and np.dtype(dtype) != buf.dtype):
+        raise ValueError(
+            f"declared dtype={np.dtype(dtype)} does not match the root "
+            f"buffer dtype {buf.dtype}")
+    itemsize = _agreed_itemsize(dtype)
     strategy = resolve_strategy(ctx, "bcast", algorithm, total, itemsize)
     return (yield from hybrid_bcast(ctx, buf, root, strategy, total=total))
 
 
 def reduce(env, vec: np.ndarray, op="sum", root: int = 0, *,
            group: Optional[Sequence[int]] = None,
+           dtype=None,
            algorithm: AlgorithmSpec = "auto",
            tag: int = 0) -> Generator:
     """Combine-to-one: element-wise combination of every member's ``vec``
-    lands on the root (None elsewhere)."""
+    lands on the root (None elsewhere).
+
+    Rank-symmetric by construction: every member holds ``vec`` and the
+    element-wise semantics require identical dtypes group-wide, so the
+    local itemsize is already agreed.  ``dtype`` makes the contract
+    explicit when desired.
+    """
     ctx = _context(env, group, tag)
     ctx.require_member()
+    itemsize = (vec.dtype.itemsize if dtype is None
+                else np.dtype(dtype).itemsize)
     strategy = resolve_strategy(ctx, "reduce", algorithm, len(vec),
-                                vec.dtype.itemsize)
+                                itemsize)
     return (yield from hybrid_reduce(ctx, vec, op, root, strategy))
 
 
 def allreduce(env, vec: np.ndarray, op="sum", *,
               group: Optional[Sequence[int]] = None,
+              dtype=None,
               algorithm: AlgorithmSpec = "auto",
               tag: int = 0) -> Generator:
-    """Global combine-to-all: every member returns the combination."""
+    """Global combine-to-all: every member returns the combination.
+
+    Rank-symmetric (see :func:`reduce`); ``dtype`` is an optional
+    explicit contract.
+    """
     ctx = _context(env, group, tag)
     ctx.require_member()
+    itemsize = (vec.dtype.itemsize if dtype is None
+                else np.dtype(dtype).itemsize)
     strategy = resolve_strategy(ctx, "allreduce", algorithm, len(vec),
-                                vec.dtype.itemsize)
+                                itemsize)
     return (yield from hybrid_allreduce(ctx, vec, op, strategy))
 
 
 def collect(env, myblock: np.ndarray, *,
             sizes: Optional[Sequence[int]] = None,
             group: Optional[Sequence[int]] = None,
+            dtype=None,
             algorithm: AlgorithmSpec = "auto",
             tag: int = 0) -> Generator:
     """Collect (allgather): every member contributes its block and
@@ -153,22 +221,30 @@ def collect(env, myblock: np.ndarray, *,
     if sizes is None:
         sizes = [len(myblock)] * ctx.size
     n = int(sum(sizes))
-    strategy = resolve_strategy(ctx, "collect", algorithm, n,
-                                myblock.dtype.itemsize)
+    itemsize = (myblock.dtype.itemsize if dtype is None
+                else np.dtype(dtype).itemsize)
+    strategy = resolve_strategy(ctx, "collect", algorithm, n, itemsize)
     return (yield from hybrid_collect(ctx, myblock, strategy, sizes=sizes))
 
 
 def reduce_scatter(env, vec: np.ndarray, op="sum", *,
                    sizes: Optional[Sequence[int]] = None,
                    group: Optional[Sequence[int]] = None,
+                   dtype=None,
                    algorithm: AlgorithmSpec = "auto",
                    tag: int = 0) -> Generator:
     """Distributed global combine: member ``i`` returns block ``i`` of
-    the element-wise combination."""
+    the element-wise combination.
+
+    Rank-symmetric (see :func:`reduce`); ``dtype`` is an optional
+    explicit contract.
+    """
     ctx = _context(env, group, tag)
     ctx.require_member()
+    itemsize = (vec.dtype.itemsize if dtype is None
+                else np.dtype(dtype).itemsize)
     strategy = resolve_strategy(ctx, "reduce_scatter", algorithm, len(vec),
-                                vec.dtype.itemsize)
+                                itemsize)
     return (yield from hybrid_reduce_scatter(ctx, vec, op, strategy,
                                              sizes=sizes))
 

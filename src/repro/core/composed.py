@@ -47,8 +47,14 @@ def short_collect(ctx: CollContext, myblock: np.ndarray,
     me = ctx.require_member()
     if sizes is None:
         sizes = [len(myblock)] * ctx.size
+    op_span = ctx.span_open("short_collect", phase="op")
+    sp = ctx.span_open("gather", phase="gather")
     full = yield from mst_gather(ctx, myblock, root=0, sizes=sizes)
+    ctx.span_close(sp)
+    sp = ctx.span_open("MST bcast", phase="kernel")
     full = yield from mst_bcast(ctx, full, root=0)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return full
 
 
@@ -60,8 +66,14 @@ def short_reduce_scatter(ctx: CollContext, vec: np.ndarray, op=None,
     me = ctx.require_member()
     if sizes is None:
         sizes = partition_sizes(len(vec), ctx.size)
+    op_span = ctx.span_open("short_reduce_scatter", phase="op")
+    sp = ctx.span_open("MST reduce", phase="kernel")
     total = yield from mst_reduce(ctx, vec, op=op, root=0)
+    ctx.span_close(sp)
+    sp = ctx.span_open("scatter", phase="scatter")
     mine = yield from mst_scatter(ctx, total, root=0, sizes=sizes)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return mine
 
 
@@ -70,8 +82,14 @@ def short_allreduce(ctx: CollContext, vec: np.ndarray, op=None) -> Generator:
     broadcast.  Cost ``2 L alpha + 2 L n beta + L n gamma``."""
     op = get_op(op if op is not None else "sum")
     ctx.require_member()
+    op_span = ctx.span_open("short_allreduce", phase="op")
+    sp = ctx.span_open("MST reduce", phase="kernel")
     total = yield from mst_reduce(ctx, vec, op=op, root=0)
+    ctx.span_close(sp)
+    sp = ctx.span_open("MST bcast", phase="kernel")
     total = yield from mst_bcast(ctx, total, root=0)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return total
 
 
@@ -95,8 +113,14 @@ def long_bcast(ctx: CollContext, buf: Optional[np.ndarray], root: int = 0,
         else:
             raise ValueError("long_bcast needs total= at non-root ranks")
     sizes = partition_sizes(total, p)
+    op_span = ctx.span_open("long_bcast", phase="op", n=total)
+    sp = ctx.span_open("scatter", phase="scatter")
     mine = yield from mst_scatter(ctx, buf, root=root, sizes=sizes)
+    ctx.span_close(sp)
+    sp = ctx.span_open("bucket collect", phase="collect")
     full = yield from bucket_collect(ctx, mine, sizes=sizes)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return full
 
 
@@ -108,8 +132,14 @@ def long_reduce(ctx: CollContext, vec: np.ndarray, op=None, root: int = 0
     op = get_op(op if op is not None else "sum")
     me = ctx.require_member()
     sizes = partition_sizes(len(vec), ctx.size)
+    op_span = ctx.span_open("long_reduce", phase="op")
+    sp = ctx.span_open("bucket reduce-scatter", phase="reduce-scatter")
     mine = yield from bucket_reduce_scatter(ctx, vec, op=op, sizes=sizes)
+    ctx.span_close(sp)
+    sp = ctx.span_open("gather", phase="gather")
     full = yield from mst_gather(ctx, mine, root=root, sizes=sizes)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return full
 
 
@@ -120,6 +150,12 @@ def long_allreduce(ctx: CollContext, vec: np.ndarray, op=None) -> Generator:
     op = get_op(op if op is not None else "sum")
     ctx.require_member()
     sizes = partition_sizes(len(vec), ctx.size)
+    op_span = ctx.span_open("long_allreduce", phase="op")
+    sp = ctx.span_open("bucket reduce-scatter", phase="reduce-scatter")
     mine = yield from bucket_reduce_scatter(ctx, vec, op=op, sizes=sizes)
+    ctx.span_close(sp)
+    sp = ctx.span_open("bucket collect", phase="collect")
     full = yield from bucket_collect(ctx, mine, sizes=sizes)
+    ctx.span_close(sp)
+    ctx.span_close(op_span)
     return full

@@ -122,6 +122,29 @@ class CollContext:
         return self.env.mark(label)
 
     # ------------------------------------------------------------------
+    # observability spans (docs/observability.md)
+    # ------------------------------------------------------------------
+
+    def span_open(self, label: str, phase: str = "", **attrs):
+        """Open a stage span on this rank's tracer.
+
+        Returns an opaque span token (None when tracing is off) to be
+        passed to :meth:`span_close`.  Plain method calls, not requests:
+        spans carry no simulated cost and never touch the event heap,
+        so instrumented runs stay bit-identical.
+        """
+        tracer = self._eng.tracer
+        if tracer is None:
+            return None
+        return tracer.span_open(self._eng.now, self.env.rank, label,
+                                phase=phase, attrs=attrs or None)
+
+    def span_close(self, span) -> None:
+        """Close a span opened with :meth:`span_open` (None is a no-op)."""
+        if span is not None:
+            self._eng.tracer.span_close(span, self._eng.now)
+
+    # ------------------------------------------------------------------
     # subgroups (hybrid stages, mesh rows/columns)
     # ------------------------------------------------------------------
 

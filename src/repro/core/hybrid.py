@@ -99,6 +99,8 @@ def hybrid_bcast(ctx: CollContext, buf: Optional[np.ndarray],
     digs = _digits(me, dims)
     rdigs = _digits(root, dims)
     k = len(dims)
+    op_span = ctx.span_open("bcast", phase="op",
+                            strategy=str(strategy), n=total)
 
     cur = buf if me == root else None
 
@@ -106,26 +108,36 @@ def hybrid_bcast(ctx: CollContext, buf: Optional[np.ndarray],
     for i in range(a):
         if all(digs[j] == rdigs[j] for j in range(i + 1, k)):
             yield ctx.mark(f"scatter dim{i + 1} (d={dims[i]})")
+            sp = ctx.span_open(f"scatter dim{i + 1}", phase="scatter",
+                               d=dims[i])
             line = _line(ctx, me, digs, dims, i)
             entering = _piece_len(total, dims, digs, i)
             sizes = partition_sizes(entering, dims[i])
             cur = yield from mst_scatter(line, cur, root=rdigs[i],
                                          sizes=sizes)
+            ctx.span_close(sp)
 
     # short-vector kernel down the last dimension
     if strategy.has_kernel:
         yield ctx.mark(f"MST bcast dim{a + 1} (d={dims[a]})")
+        sp = ctx.span_open(f"MST bcast dim{a + 1}", phase="kernel",
+                           d=dims[a])
         line = _line(ctx, me, digs, dims, a)
         cur = yield from mst_bcast(line, cur, root=rdigs[a])
+        ctx.span_close(sp)
 
     # collect stages back out, every line active
     for i in reversed(range(a)):
         yield ctx.mark(f"collect dim{i + 1} (d={dims[i]})")
+        sp = ctx.span_open(f"collect dim{i + 1}", phase="collect",
+                           d=dims[i])
         line = _line(ctx, me, digs, dims, i)
         entering = _piece_len(total, dims, digs, i)
         sizes = partition_sizes(entering, dims[i])
         cur = yield from bucket_collect(line, cur, sizes=sizes)
+        ctx.span_close(sp)
 
+    ctx.span_close(op_span)
     return cur
 
 
@@ -144,24 +156,34 @@ def hybrid_reduce(ctx: CollContext, vec: np.ndarray, op, root: int,
     n = len(vec)
     digs = _digits(me, dims)
     rdigs = _digits(root, dims)
+    op_span = ctx.span_open("reduce", phase="op",
+                            strategy=str(strategy), n=n)
 
     cur = vec
     for i in range(a):
         yield ctx.mark(f"reduce-scatter dim{i + 1} (d={dims[i]})")
+        sp = ctx.span_open(f"reduce-scatter dim{i + 1}",
+                           phase="reduce-scatter", d=dims[i])
         line = _line(ctx, me, digs, dims, i)
         sizes = partition_sizes(len(cur), dims[i])
         cur = yield from bucket_reduce_scatter(line, cur, op=op, sizes=sizes)
+        ctx.span_close(sp)
 
     if strategy.has_kernel:
         yield ctx.mark(f"MST reduce dim{a + 1} (d={dims[a]})")
+        sp = ctx.span_open(f"MST reduce dim{a + 1}", phase="kernel",
+                           d=dims[a])
         line = _line(ctx, me, digs, dims, a)
         cur = yield from mst_reduce(line, cur, op=op, root=rdigs[a])
         if digs[a] != rdigs[a]:
             cur = None
+        ctx.span_close(sp)
 
     for i in reversed(range(a)):
         if all(digs[j] == rdigs[j] for j in range(i + 1, k)):
             yield ctx.mark(f"gather dim{i + 1} (d={dims[i]})")
+            sp = ctx.span_open(f"gather dim{i + 1}", phase="gather",
+                               d=dims[i])
             line = _line(ctx, me, digs, dims, i)
             entering = _piece_len(n, dims, digs, i)
             sizes = partition_sizes(entering, dims[i])
@@ -169,7 +191,9 @@ def hybrid_reduce(ctx: CollContext, vec: np.ndarray, op, root: int,
                                         sizes=sizes)
             if digs[i] != rdigs[i]:
                 cur = None
+            ctx.span_close(sp)
 
+    ctx.span_close(op_span)
     return cur
 
 
@@ -187,27 +211,39 @@ def hybrid_allreduce(ctx: CollContext, vec: np.ndarray, op,
     a = strategy.nscatter
     n = len(vec)
     digs = _digits(me, dims)
+    op_span = ctx.span_open("allreduce", phase="op",
+                            strategy=str(strategy), n=n)
 
     cur = vec
     for i in range(a):
         yield ctx.mark(f"reduce-scatter dim{i + 1} (d={dims[i]})")
+        sp = ctx.span_open(f"reduce-scatter dim{i + 1}",
+                           phase="reduce-scatter", d=dims[i])
         line = _line(ctx, me, digs, dims, i)
         sizes = partition_sizes(len(cur), dims[i])
         cur = yield from bucket_reduce_scatter(line, cur, op=op, sizes=sizes)
+        ctx.span_close(sp)
 
     if strategy.has_kernel:
         yield ctx.mark(f"allreduce kernel dim{a + 1} (d={dims[a]})")
+        sp = ctx.span_open(f"allreduce kernel dim{a + 1}", phase="kernel",
+                           d=dims[a])
         line = _line(ctx, me, digs, dims, a)
         cur = yield from mst_reduce(line, cur, op=op, root=0)
         cur = yield from mst_bcast(line, cur, root=0)
+        ctx.span_close(sp)
 
     for i in reversed(range(a)):
         yield ctx.mark(f"collect dim{i + 1} (d={dims[i]})")
+        sp = ctx.span_open(f"collect dim{i + 1}", phase="collect",
+                           d=dims[i])
         line = _line(ctx, me, digs, dims, i)
         entering = _piece_len(n, dims, digs, i)
         sizes = partition_sizes(entering, dims[i])
         cur = yield from bucket_collect(line, cur, sizes=sizes)
+        ctx.span_close(sp)
 
+    ctx.span_close(op_span)
     return cur
 
 
@@ -233,22 +269,29 @@ def hybrid_collect(ctx: CollContext, myblock: np.ndarray,
         raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
     offs = partition_offsets(sizes)
     digs = _digits(me, dims)
+    op_span = ctx.span_open("collect", phase="op",
+                            strategy=str(strategy), n=offs[-1])
 
     cur = myblock
     W = 1
     for i, d in enumerate(dims):
         yield ctx.mark(f"collect dim{i + 1} (d={d})")
+        kernel = i == 0 and strategy.has_kernel
+        sp = ctx.span_open(f"collect dim{i + 1}",
+                           phase="kernel" if kernel else "collect", d=d)
         line = _line(ctx, me, digs, dims, i)
         lbase = (me // (W * d)) * (W * d)
         stage_sizes = [offs[lbase + (j + 1) * W] - offs[lbase + j * W]
                        for j in range(d)]
-        if i == 0 and strategy.has_kernel:
+        if kernel:
             full = yield from mst_gather(line, cur, root=0,
                                          sizes=stage_sizes)
             cur = yield from mst_bcast(line, full, root=0)
         else:
             cur = yield from bucket_collect(line, cur, sizes=stage_sizes)
+        ctx.span_close(sp)
         W *= d
+    ctx.span_close(op_span)
     return cur
 
 
@@ -276,22 +319,30 @@ def hybrid_reduce_scatter(ctx: CollContext, vec: np.ndarray, op,
         raise ValueError(f"sizes has {len(sizes)} entries for group of {p}")
     offs = partition_offsets(sizes)
     digs = _digits(me, dims)
+    op_span = ctx.span_open("reduce_scatter", phase="op",
+                            strategy=str(strategy), n=offs[-1])
 
     cur = vec
     for i in reversed(range(len(dims))):
         d = dims[i]
         W = math.prod(dims[:i])
         yield ctx.mark(f"reduce-scatter dim{i + 1} (d={d})")
+        kernel = i == 0 and strategy.has_kernel
+        sp = ctx.span_open(f"reduce-scatter dim{i + 1}",
+                           phase="kernel" if kernel else "reduce-scatter",
+                           d=d)
         line = _line(ctx, me, digs, dims, i)
         vbase = (me // (W * d)) * (W * d)
         base_off = offs[vbase]
         stage_sizes = [offs[vbase + (j + 1) * W] - offs[vbase + j * W]
                        for j in range(d)]
-        if i == 0 and strategy.has_kernel:
+        if kernel:
             full = yield from mst_reduce(line, cur, op=op, root=0)
             cur = yield from mst_scatter(line, full, root=0,
                                          sizes=stage_sizes)
         else:
             cur = yield from bucket_reduce_scatter(line, cur, op=op,
                                                    sizes=stage_sizes)
+        ctx.span_close(sp)
+    ctx.span_close(op_span)
     return cur

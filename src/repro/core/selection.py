@@ -36,6 +36,29 @@ from .strategy import (Strategy, collect_candidates,
 
 OPERATIONS = ("bcast", "reduce", "allreduce", "collect", "reduce_scatter")
 
+#: :meth:`Selector.best` keeps at most this many memoized choices.
+BEST_CACHE_LIMIT = 1024
+
+
+def length_bucket(n: int) -> int:
+    """Representative vector length for memoizing strategy choices.
+
+    Floor power of two: all lengths in ``[2^k, 2^(k+1))`` price — and
+    therefore cache — as ``2^k``.  The crossover points of the cost
+    model move far slower than that (the short/long switch is driven by
+    the alpha/beta ratio, thousands of elements apart), so bucketing
+    never flips a choice in practice while collapsing the per-exact-n
+    cache misses an iterative application generates (p=30 runs with
+    n=255 vs n=256 previously priced the full candidate set twice).
+
+    Deterministic and rank-independent by construction: every rank maps
+    the same ``n`` to the same bucket, preserving the SPMD
+    strategy-agreement contract of ``algorithm="auto"``.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (n.bit_length() - 1)
+
 
 def linear_interleaves(dims: Sequence[int]) -> List[float]:
     """Interleave counts for a linear-array group: dimension ``i``
@@ -198,15 +221,25 @@ class Selector:
 
     def best(self, operation: str, p: int, n: int,
              mesh_shape: Optional[Tuple[int, int]] = None) -> Choice:
-        """The cheapest strategy for (operation, group size, length)."""
-        key = (operation, p, n, mesh_shape)
+        """The cheapest strategy for (operation, group size, length).
+
+        Memoized per log2 length bucket (:func:`length_bucket`), not per
+        exact ``n``: the ranking is priced once at the bucket
+        representative and reused for every length in the bucket.  The
+        cache is bounded at :data:`BEST_CACHE_LIMIT` entries (oldest
+        evicted first); the bucketing keeps the working set tiny anyway
+        (~60 buckets span one element to a petabyte vector).
+        """
+        key = (operation, p, length_bucket(n), mesh_shape)
         hit = self._cache.get(key)
         if hit is None:
-            ranked = self.ranked(operation, p, n, mesh_shape)
+            ranked = self.ranked(operation, p, key[2], mesh_shape)
             if not ranked:
                 raise RuntimeError(
                     f"no viable strategy for {operation} on p={p}")
             hit = ranked[0]
+            if len(self._cache) >= BEST_CACHE_LIMIT:
+                self._cache.pop(next(iter(self._cache)))
             self._cache[key] = hit
         return hit
 

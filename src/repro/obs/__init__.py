@@ -1,0 +1,70 @@
+"""``repro.obs`` — the observability layer of the reproduction.
+
+One namespace gathering everything needed to see *where time goes* in a
+simulated collective, the measurement substrate the paper's section 6
+heuristics and Table 2 conflict analysis rest on:
+
+* **channel metrics** (:mod:`repro.obs.metrics`) — per-channel/per-port
+  busy time, bytes, peak concurrency and time-weighted sharing factor,
+  collected passively by the fluid network and exposed as
+  ``RunResult.channel_metrics``;
+* **stage spans** (:class:`repro.sim.trace.SpanRecord`) — the hybrid
+  and composed collectives wrap every dimension/stage (scatter, MST
+  kernel, collect, ...) in enter/exit records on the
+  :class:`~repro.sim.trace.Tracer`, so a run decomposes into the
+  paper's alpha/beta/gamma stages instead of a flat message soup;
+* **critical path** (:mod:`repro.analysis.critpath`) — the longest
+  dependency chain of rendezvous -> completion edges, with attributed
+  alpha/beta time per hop;
+* **trace export** (:func:`repro.sim.trace.chrome_trace`) — Chrome
+  ``chrome://tracing`` / Perfetto JSON, via
+  ``python -m repro.analysis.report --trace ...``.
+
+Everything is zero-cost when disabled and strictly passive when
+enabled: the golden-equivalence corpus is bit-identical with
+instrumentation off and on.  See ``docs/observability.md``.
+
+Submodules of :mod:`repro.sim` import :mod:`repro.obs.metrics`
+directly; this facade therefore resolves its sim/analysis re-exports
+lazily (PEP 562) so the two packages never form an import cycle.
+"""
+
+from __future__ import annotations
+
+from .metrics import (ChannelStats, ResourceMetrics, busiest, channels_only,
+                      total_contention)
+
+#: facade name -> (module, attribute)
+_LAZY = {
+    "SpanRecord": ("repro.sim.trace", "SpanRecord"),
+    "Tracer": ("repro.sim.trace", "Tracer"),
+    "MessageRecord": ("repro.sim.trace", "MessageRecord"),
+    "chrome_trace": ("repro.sim.trace", "chrome_trace"),
+    "write_chrome_trace": ("repro.sim.trace", "write_chrome_trace"),
+    "CritSpan": ("repro.analysis.critpath", "CritSpan"),
+    "critical_path": ("repro.analysis.critpath", "critical_path"),
+    "critical_path_summary": ("repro.analysis.critpath",
+                              "critical_path_summary"),
+}
+
+__all__ = [
+    "ChannelStats", "ResourceMetrics", "busiest", "channels_only",
+    "total_contention",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,220 @@
+"""Per-resource utilization and contention accounting.
+
+The fluid network models every in-flight message as a flow across an
+ordered set of *resources* — the sender's injection port, the directed
+channels of the wormhole route, and the receiver's ejection port.  A
+:class:`ResourceMetrics` collector, when attached to a
+:class:`~repro.sim.network.FluidNetwork`, observes the only two
+membership events a resource ever sees (a flow starts crossing it, a
+flow stops crossing it) and integrates:
+
+* **busy time** — total time the resource carried at least one flow.
+  On a conflict-free run this equals the ``n * beta`` wire term of the
+  paper's ``alpha + n*beta`` model exactly (the ``alpha`` is charged by
+  the engine before the flow enters the network);
+* **bytes** — payload bytes of every flow routed across the resource;
+* **max concurrent flows** — peak instantaneous flow count, i.e. the
+  worst-case conflict multiplicity of section 6's interleave analysis;
+* **time-weighted sharing factor** — ``(integral of nflows dt) / busy
+  time``: the average number of flows sharing the resource *while it
+  was busy*.  1.0 means conflict-free; the Table 2 conflict factors
+  show up here as measured quantities.
+
+The collector is strictly passive: it never touches flow rates or the
+event heap, so simulated results are bit-identical with metrics on or
+off (the instrumentation-neutrality CI job enforces this).  It is also
+cheap: per flow start/end the hot path only appends one record to an
+event log (the O(route length) integration happens once, when stats
+are read), and when no collector is attached the network pays a single
+``is None`` test per event.
+
+This module deliberately imports nothing from ``repro`` so it can sit
+below both the simulator and the analysis layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Aggregated utilization of one network resource over a run."""
+
+    resource: Tuple             #: ("inj", node) | ("ch", u, v) | ("ej", node)
+    busy_time: float            #: total time with >= 1 flow crossing
+    bytes: float                #: payload bytes routed across the resource
+    flows: int                  #: number of flows that crossed it
+    max_concurrent: int         #: peak simultaneous flow count
+    sharing_factor: float       #: time-weighted mean flows while busy (>= 1)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+
+class ResourceMetrics:
+    """Per-resource accounting over the flow membership event log.
+
+    The hot path — :meth:`on_start` / :meth:`on_end`, called by the
+    network once per flow admission/retirement — only appends
+    ``(time, route, nbytes-or-None)`` to a flat log (the route is the
+    network's interned tuple, stored by reference).  The O(route
+    length) integration work is deferred to :meth:`_integrate`, run
+    once when stats are first read; this keeps the metered run's
+    wall-clock overhead a small fraction of the simulator's own
+    per-flow cost (< 5%, recorded per case in BENCH_sim.json).
+    """
+
+    __slots__ = ("_events", "_done", "_nflows", "_last_t", "_busy",
+                 "_flow_time", "_bytes", "_count", "_maxc")
+
+    def __init__(self) -> None:
+        #: (now, route, nbytes) for starts; (now, route, None) for ends.
+        #: Simulation time is monotone, so the log is already ordered.
+        self._events: List[Tuple[float, Sequence[int], object]] = []
+        self._done = 0          #: events already integrated
+        self._nflows: List[int] = []
+        self._last_t: List[float] = []
+        self._busy: List[float] = []
+        self._flow_time: List[float] = []
+        self._bytes: List[float] = []
+        self._count: List[int] = []
+        self._maxc: List[int] = []
+
+    def _grow(self, rid: int) -> None:
+        need = rid + 1 - len(self._nflows)
+        if need > 0:
+            self._nflows.extend([0] * need)
+            self._last_t.extend([0.0] * need)
+            self._busy.extend([0.0] * need)
+            self._flow_time.extend([0.0] * need)
+            self._bytes.extend([0.0] * need)
+            self._count.extend([0] * need)
+            self._maxc.extend([0] * need)
+
+    # ------------------------------------------------------------------
+    # network hooks (hot path when enabled)
+    # ------------------------------------------------------------------
+
+    def on_start(self, route: Sequence[int], nbytes: float,
+                 now: float) -> None:
+        """A flow of ``nbytes`` begins crossing every resource in route."""
+        self._events.append((now, route, nbytes))
+
+    def on_end(self, route: Sequence[int], now: float) -> None:
+        """A flow stops crossing every resource in route."""
+        self._events.append((now, route, None))
+
+    # ------------------------------------------------------------------
+    # integration (cold path)
+    # ------------------------------------------------------------------
+
+    def _integrate(self) -> None:
+        """Replay any unprocessed membership events into the per-resource
+        accumulators.  Incremental: safe to call between runs."""
+        events = self._events
+        if self._done == len(events):
+            return
+        # _grow extends the lists in place, so these bindings stay valid
+        # across growth.
+        nflows = self._nflows
+        last_t = self._last_t
+        busy = self._busy
+        flow_time = self._flow_time
+        maxc = self._maxc
+        nbytes_acc = self._bytes
+        count = self._count
+        known = len(nflows)
+        for now, route, nbytes in events[self._done:]:
+            if route and max(route) >= known:
+                self._grow(max(route))
+                known = len(nflows)
+            if nbytes is not None:          # flow start
+                for rid in route:
+                    c = nflows[rid]
+                    if c:
+                        dt = now - last_t[rid]
+                        busy[rid] += dt
+                        flow_time[rid] += c * dt
+                    last_t[rid] = now
+                    c += 1
+                    nflows[rid] = c
+                    if c > maxc[rid]:
+                        maxc[rid] = c
+                    nbytes_acc[rid] += nbytes
+                    count[rid] += 1
+            else:                           # flow end
+                for rid in route:
+                    c = nflows[rid]
+                    dt = now - last_t[rid]
+                    if dt > 0.0:
+                        busy[rid] += dt
+                        flow_time[rid] += c * dt
+                    last_t[rid] = now
+                    nflows[rid] = c - 1
+        self._done = len(events)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def stats(self, rid: int, resource: Tuple) -> ChannelStats:
+        """Aggregate view of one resource (by interned id)."""
+        self._integrate()
+        if rid >= len(self._nflows):
+            return ChannelStats(resource, 0.0, 0.0, 0, 0, 0.0)
+        busy = self._busy[rid]
+        share = self._flow_time[rid] / busy if busy > 0.0 else 0.0
+        return ChannelStats(
+            resource=resource,
+            busy_time=busy,
+            bytes=self._bytes[rid],
+            flows=self._count[rid],
+            max_concurrent=self._maxc[rid],
+            sharing_factor=share,
+        )
+
+    def snapshot(self, resources: Sequence[Tuple]
+                 ) -> Dict[Tuple, ChannelStats]:
+        """Stats for every interned resource, keyed by resource tuple.
+
+        ``resources`` is the network's interning table (id -> tuple).
+        Resources a run never touched are omitted.
+        """
+        if resources:
+            self._grow(len(resources) - 1)
+        self._integrate()
+        out: Dict[Tuple, ChannelStats] = {}
+        for rid, res in enumerate(resources):
+            if rid < len(self._count) and self._count[rid]:
+                out[res] = self.stats(rid, res)
+        return out
+
+
+def channels_only(stats: Dict[Tuple, ChannelStats]
+                  ) -> Dict[Tuple, ChannelStats]:
+    """Filter a snapshot down to the directed mesh channels."""
+    return {r: s for r, s in stats.items() if r[0] == "ch"}
+
+
+def busiest(stats: Dict[Tuple, ChannelStats], k: int = 10
+            ) -> List[ChannelStats]:
+    """The ``k`` resources with the most busy time, descending."""
+    return sorted(stats.values(),
+                  key=lambda s: (-s.busy_time, s.resource))[:k]
+
+
+def total_contention(stats: Dict[Tuple, ChannelStats]) -> float:
+    """Aggregate sharing diagnosis: time-weighted mean sharing factor
+    over all busy resources (1.0 == fully conflict-free run)."""
+    busy = sum(s.busy_time for s in stats.values())
+    if busy <= 0.0:
+        return 0.0
+    if math.isinf(busy):
+        return math.nan
+    return sum(s.sharing_factor * s.busy_time for s in stats.values()) / busy

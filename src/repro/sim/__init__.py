@@ -15,7 +15,8 @@ from .params import (DELTA, IPSC860, PARAGON, PRESETS, UNIT, MachineParams,
                      preset)
 from .topology import (FullyConnected, Hypercube, LinearArray, Mesh2D, Ring,
                        Topology, Torus2D, route_length)
-from .trace import MessageRecord, Tracer
+from .trace import (MessageRecord, SpanRecord, Tracer,
+                    chrome_trace, write_chrome_trace)
 
 __all__ = [
     "CommHandle", "DeadlockError", "Engine", "RankEnv",
@@ -26,5 +27,6 @@ __all__ = [
     "preset",
     "FullyConnected", "Hypercube", "LinearArray", "Mesh2D", "Ring",
     "Topology", "Torus2D", "route_length",
-    "MessageRecord", "Tracer",
+    "MessageRecord", "SpanRecord", "Tracer",
+    "chrome_trace", "write_chrome_trace",
 ]

@@ -300,7 +300,8 @@ class Engine:
 
     def __init__(self, topology: Topology, params: MachineParams,
                  tracer: Optional[Tracer] = None,
-                 max_events: int = 200_000_000):
+                 max_events: int = 200_000_000,
+                 metrics=None):
         self.topology = topology
         self.params = params
         self.tracer = tracer
@@ -317,7 +318,8 @@ class Engine:
         self.network = FluidNetwork(
             topology, params, self.schedule,
             schedule_completion=self._schedule_completion,
-            complete=self._flow_done)
+            complete=self._flow_done,
+            metrics=metrics)
         # (dst, src, tag) -> deque of unmatched sends / recvs
         self._pending_sends: Dict[Tuple[int, int, int], Deque] = \
             defaultdict(deque)

@@ -17,9 +17,10 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import ChannelStats, ResourceMetrics
 from .engine import Engine, RankEnv
 from .params import MachineParams, UNIT
 from .topology import Topology
@@ -38,6 +39,29 @@ class RunResult:
     rate_recomputations: int    #: fluid-model bookkeeping (diagnostics)
     events: int = 0             #: discrete events processed by the engine
     flows: int = 0              #: flows carried by the fluid network
+    #: (collector, resource table) when metrics were on; feeds the lazy
+    #: :attr:`channel_metrics` aggregation
+    metrics_source: Optional[Tuple[ResourceMetrics, Sequence[Tuple]]] = \
+        field(default=None, repr=False, compare=False)
+    _metrics_cache: Optional[Dict[Tuple, ChannelStats]] = \
+        field(default=None, repr=False, compare=False)
+
+    @property
+    def channel_metrics(self) -> Optional[Dict[Tuple, ChannelStats]]:
+        """Per-resource utilization/contention stats keyed by resource
+        tuple (``("inj", node)`` / ``("ch", u, v)`` / ``("ej", node)``),
+        or None when the run was not metered.
+
+        Aggregated lazily on first access: the metered run itself only
+        logs flow membership events (< 5% wall-clock overhead), and the
+        O(events x route) integration happens here, once.
+        """
+        if self.metrics_source is None:
+            return None
+        if self._metrics_cache is None:
+            collector, resources = self.metrics_source
+            self._metrics_cache = collector.snapshot(resources)
+        return self._metrics_cache
 
     def result_of(self, rank: int) -> Any:
         return self.results[rank]
@@ -55,15 +79,22 @@ class Machine:
         :class:`~repro.sim.params.MachineParams`; defaults to the unit
         model used by the analytic tests.
     trace:
-        When true, every run records per-message lifecycle events.
+        When true, every run records per-message lifecycle events (and
+        collective stage spans, see docs/observability.md).
+    metrics:
+        When true, every run accounts per-channel/per-port utilization
+        and contention, exposed as ``RunResult.channel_metrics``.
+        Strictly passive: simulated results are unchanged.
     """
 
     def __init__(self, topology: Topology,
                  params: MachineParams = UNIT,
-                 trace: bool = False):
+                 trace: bool = False,
+                 metrics: bool = False):
         self.topology = topology
         self.params = params
         self.trace = trace
+        self.metrics = metrics
 
     @property
     def nnodes(self) -> int:
@@ -72,16 +103,22 @@ class Machine:
     def run(self, program: Callable[..., Any], *args: Any,
             ranks: Optional[Sequence[int]] = None,
             trace: Optional[bool] = None,
+            metrics: Optional[bool] = None,
             **kwargs: Any) -> RunResult:
         """Execute ``program(env, *args, **kwargs)`` on every rank.
 
         ``program`` must be a generator function (an SPMD rank program).
         ``ranks`` restricts execution to a subset of nodes (the others
         stay idle); per-rank return values for idle nodes are ``None``.
+        ``trace`` / ``metrics`` override the machine-level flags for
+        this run only.
         """
         do_trace = self.trace if trace is None else trace
+        do_metrics = self.metrics if metrics is None else metrics
         tracer = Tracer() if do_trace else None
-        engine = Engine(self.topology, self.params, tracer=tracer)
+        collector = ResourceMetrics() if do_metrics else None
+        engine = Engine(self.topology, self.params, tracer=tracer,
+                        metrics=collector)
         active = range(self.nnodes) if ranks is None else ranks
         active = sorted(set(active))
         for r in active:
@@ -106,4 +143,6 @@ class Machine:
             rate_recomputations=engine.network.rate_recomputations,
             events=engine.events_processed,
             flows=engine.network.flows_started,
+            metrics_source=(collector, engine.network._res_list)
+            if collector is not None else None,
         )

@@ -153,9 +153,17 @@ class FluidNetwork:
                  schedule: Callable[[float, Callable[[], None]], None],
                  schedule_completion: Optional[
                      Callable[[float, Flow, int], None]] = None,
-                 complete: Optional[Callable[[object, float], None]] = None):
+                 complete: Optional[Callable[[object, float], None]] = None,
+                 metrics=None):
         self.topology = topology
         self.params = params
+        #: optional passive per-resource accounting
+        #: (:class:`repro.obs.metrics.ResourceMetrics`); never affects
+        #: simulated results — see docs/observability.md
+        self.metrics = metrics
+        # bound append of the collector's event log: the hot-path cost
+        # of metering is exactly one tuple + list append per flow event
+        self._mev = metrics._events.append if metrics is not None else None
         self._schedule = schedule
         if schedule_completion is None:
             def schedule_completion(t: float, flow: Flow,
@@ -225,6 +233,8 @@ class FluidNetwork:
             res_flows[rid][flow] = None
         self.flows_started += 1
         self.bytes_carried += nbytes
+        if self._mev is not None:
+            self._mev((now, route, nbytes))
         self._recompute_component(flow, now)
         return flow
 
@@ -443,12 +453,21 @@ class FluidNetwork:
                 self._schedule_completion(t, flow, flow.epoch)
                 return
             flow.remaining = 0.0
-        self._remove(flow)
+        self._remove(flow, when)
         self._recompute_component(flow, when)
         self._complete(flow.on_complete, when)
 
-    def _remove(self, flow: Flow) -> None:
+    def _remove(self, flow: Flow, when: float) -> None:
         self._active.pop(flow, None)
         res_flows = self._res_flows
         for rid in flow.route:
             res_flows[rid].pop(flow, None)
+        if self._mev is not None:
+            self._mev((when, flow.route, None))
+
+    def metrics_snapshot(self):
+        """Per-resource stats keyed by resource tuple, or None when no
+        metrics collector is attached."""
+        if self.metrics is None:
+            return None
+        return self.metrics.snapshot(self._res_list)

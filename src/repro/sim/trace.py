@@ -1,19 +1,33 @@
-"""Structured tracing of simulated message traffic.
+"""Structured tracing of simulated message traffic and collective stages.
 
-A :class:`Tracer` collects one :class:`MessageRecord` per point-to-point
-message.  Traces back two things in this reproduction:
+A :class:`Tracer` collects:
 
-* the Figure 1 style step-by-step tables (which node sent which piece
-  when, during a hybrid broadcast);
-* debugging and the conflict-model tests (records expose the measured
-  transfer durations, from which effective bandwidth sharing is visible).
+* one :class:`MessageRecord` per point-to-point message — the Figure 1
+  style step-by-step tables and the conflict-model tests read these;
+* :class:`SpanRecord` enter/exit spans — the hybrid and composed
+  collectives wrap each dimension/stage (scatter, MST kernel, collect,
+  ...) in spans, so a run decomposes into the paper's alpha/beta/gamma
+  stages instead of a flat message soup (see docs/observability.md);
+* zero-cost ``mark`` annotations.
+
+The whole trace can be exported to the Chrome ``chrome://tracing`` /
+Perfetto JSON format with :func:`chrome_trace` /
+:func:`write_chrome_trace` and opened in a real trace viewer
+(``python -m repro.analysis.report --trace ...`` does this for the
+benchmark scenarios).
 """
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: relative tolerance under which two rendezvous times are considered
+#: the same "step": float noise from the fluid model's settle/eta
+#: arithmetic can split one logical round into several by ~1e-15.
+_STEP_RTOL = 1e-9
 
 
 @dataclass
@@ -36,16 +50,54 @@ class MessageRecord:
 
     @property
     def wait_time(self) -> float:
-        """Time the earlier party waited for the later one."""
+        """Time the earlier party waited for the later one.
+
+        NaN when either side never posted — Python's ``min`` would
+        otherwise return a finite value or NaN depending on argument
+        order (NaN comparisons are False), silently mislabelling
+        half-posted messages.
+        """
+        if math.isnan(self.t_send_post) or math.isnan(self.t_recv_post):
+            return math.nan
         return self.t_match - min(self.t_send_post, self.t_recv_post)
 
 
+@dataclass
+class SpanRecord:
+    """One enter/exit interval of a collective stage on one rank.
+
+    ``phase`` is the stage family (``"scatter"``, ``"kernel"``,
+    ``"collect"``, ``"reduce-scatter"``, ``"gather"``, or ``"op"`` for
+    the whole-collective span); ``attrs`` carries stage metadata such
+    as the resolved strategy string or the stage's dimension extent.
+    ``depth`` is the nesting level on this rank (op span = 0).
+    """
+
+    rank: int
+    label: str
+    phase: str = ""
+    t_start: float = math.nan
+    t_end: float = math.nan
+    depth: int = 0
+    attrs: Optional[Dict[str, object]] = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def closed(self) -> bool:
+        return not math.isnan(self.t_end)
+
+
 class Tracer:
-    """Accumulates message records during one simulation run."""
+    """Accumulates message, span and mark records during one run."""
 
     def __init__(self) -> None:
         self.messages: List[MessageRecord] = []
         self.marks: List[Tuple[float, int, str]] = []
+        self.spans: List[SpanRecord] = []
+        self._depth: Dict[int, int] = {}
 
     def message(self, rec: MessageRecord) -> None:
         self.messages.append(rec)
@@ -53,6 +105,35 @@ class Tracer:
     def mark(self, time: float, rank: int, label: str) -> None:
         """User-level annotation (e.g. 'stage 2: MST bcast')."""
         self.marks.append((time, rank, label))
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def span_open(self, time: float, rank: int, label: str,
+                  phase: str = "",
+                  attrs: Optional[Dict[str, object]] = None) -> SpanRecord:
+        """Open a stage span on ``rank``; close with :meth:`span_close`.
+
+        Purely observational: records carry no simulated cost and do
+        not enter the golden trace serialization.
+        """
+        depth = self._depth.get(rank, 0)
+        self._depth[rank] = depth + 1
+        span = SpanRecord(rank=rank, label=label, phase=phase,
+                          t_start=time, depth=depth, attrs=attrs)
+        self.spans.append(span)
+        return span
+
+    def span_close(self, span: SpanRecord, time: float) -> None:
+        span.t_end = time
+        self._depth[span.rank] = max(self._depth.get(span.rank, 1) - 1, 0)
+
+    def spans_of(self, rank: int) -> List[SpanRecord]:
+        return [s for s in self.spans if s.rank == rank]
+
+    def closed_spans(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.closed]
 
     # ------------------------------------------------------------------
     # queries
@@ -79,20 +160,30 @@ class Tracer:
 
         Messages whose ``t_match`` fall within the same quantum are one
         "step" (like the rows of Figure 1 in the paper).  When
-        ``time_quantum`` is None the distinct match times define steps.
+        ``time_quantum`` is None, match times equal within a small
+        relative tolerance define steps — exact-equality grouping would
+        split one logical round into several whenever the fluid model's
+        settle/eta arithmetic leaves ~1e-15 of float noise between
+        same-round rendezvous.
         """
         recs = sorted(self.completed(), key=lambda m: (m.t_match, m.src))
         steps: List[Tuple[int, List[MessageRecord]]] = []
-        cur_time: Optional[float] = None
+        cur_key: Optional[float] = None
         cur: List[MessageRecord] = []
         for m in recs:
-            key = (m.t_match if time_quantum is None
-                   else math.floor(m.t_match / time_quantum))
-            if cur_time is None or key != cur_time:
+            if time_quantum is None:
+                same = (cur_key is not None
+                        and m.t_match - cur_key
+                        <= _STEP_RTOL * max(1.0, abs(cur_key)))
+                key = m.t_match
+            else:
+                key = math.floor(m.t_match / time_quantum)
+                same = cur_key is not None and key == cur_key
+            if not same:
                 if cur:
                     steps.append((len(steps) + 1, cur))
                 cur = []
-                cur_time = key
+                cur_key = key
             cur.append(m)
         if cur:
             steps.append((len(steps) + 1, cur))
@@ -106,3 +197,79 @@ class Tracer:
                               for m in recs)
             lines.append(f"step {step} @t={recs[0].t_match:g}: {heads}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace (chrome://tracing / Perfetto) export
+# ----------------------------------------------------------------------
+
+#: pid of the per-rank stage/span lanes in the exported trace
+_PID_RANKS = 0
+#: pid of the per-sender message-transfer lanes
+_PID_MESSAGES = 1
+
+
+def chrome_trace(tracer: Tracer, timescale: float = 1e6) -> Dict:
+    """Convert a trace into the Chrome Trace Event JSON format.
+
+    The result can be dumped with :func:`write_chrome_trace` and opened
+    in ``chrome://tracing`` or https://ui.perfetto.dev.  Layout:
+
+    * process 0 ("collective stages") — one thread per rank, carrying
+      the nested stage spans (``X`` events) and marks (instants);
+    * process 1 ("message transfers") — one thread per *sending* rank,
+      one slice per message from rendezvous to completion, with
+      ``nbytes``/``tag``/``wait`` in the args.
+
+    ``timescale`` converts simulated seconds to the format's
+    microsecond timestamps; with sub-microsecond simulated times (the
+    UNIT model) raise it so slices stay visible.
+    """
+    events: List[Dict] = [
+        {"ph": "M", "pid": _PID_RANKS, "name": "process_name",
+         "args": {"name": "collective stages"}},
+        {"ph": "M", "pid": _PID_MESSAGES, "name": "process_name",
+         "args": {"name": "message transfers"}},
+    ]
+    seen_ranks = set()
+    for s in tracer.spans:
+        if not s.closed:
+            continue
+        seen_ranks.add(s.rank)
+        ev = {"name": s.label, "cat": s.phase or "span", "ph": "X",
+              "ts": s.t_start * timescale,
+              "dur": (s.t_end - s.t_start) * timescale,
+              "pid": _PID_RANKS, "tid": s.rank}
+        if s.attrs:
+            ev["args"] = {k: str(v) for k, v in s.attrs.items()}
+        events.append(ev)
+    for t, rank, label in tracer.marks:
+        seen_ranks.add(rank)
+        events.append({"name": label, "cat": "mark", "ph": "i",
+                       "ts": t * timescale, "pid": _PID_RANKS,
+                       "tid": rank, "s": "t"})
+    for m in tracer.completed():
+        events.append({
+            "name": f"{m.src}->{m.dst}", "cat": "message", "ph": "X",
+            "ts": m.t_match * timescale,
+            "dur": (m.t_complete - m.t_match) * timescale,
+            "pid": _PID_MESSAGES, "tid": m.src,
+            "args": {"nbytes": m.nbytes, "tag": m.tag,
+                     "dst": m.dst,
+                     "wait": None if math.isnan(m.wait_time)
+                     else m.wait_time * timescale},
+        })
+    for rank in sorted(seen_ranks):
+        events.append({"ph": "M", "pid": _PID_RANKS, "tid": rank,
+                       "name": "thread_name",
+                       "args": {"name": f"rank {rank}"}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       timescale: float = 1e6) -> str:
+    """Write the Chrome-trace JSON for ``tracer`` to ``path``."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(tracer, timescale=timescale), f)
+        f.write("\n")
+    return path

@@ -46,3 +46,26 @@ class TestBuildReport:
         out = str(tmp_path / "r.md")
         assert main([str(tmp_path), out]) == 0
         assert os.path.exists(out)
+
+
+class TestTraceMode:
+    def test_trace_cli_writes_chrome_json(self, tmp_path, capsys):
+        import json
+        from repro.analysis.report import main
+        out = tmp_path / "bcast.trace.json"
+        rc = main(["--trace", "bcast", "--p", "8", "--bytes", "256",
+                   "--params", "UNIT", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "busiest resources" in text
+
+    def test_trace_scenario_all_ops(self):
+        from repro.analysis.report import TRACE_OPS, run_traced_scenario
+        for op in TRACE_OPS:
+            res = run_traced_scenario(op, p=6, nbytes=64,
+                                      params_name="UNIT")
+            assert res.trace.closed_spans()
+            assert res.channel_metrics

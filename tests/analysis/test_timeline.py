@@ -120,3 +120,51 @@ class TestUtilization:
         run = traced(16, prog)
         u = utilization(run.trace, 16)
         assert min(u) < 0.5 < max(u)
+
+
+class TestDegenerateTimeline:
+    def _instant_tracer(self, t=5.0):
+        # every transfer rendezvous and completes at one instant, so the
+        # run has zero time span (zero-byte traffic under an alpha=0
+        # model): hi == lo in the renderer
+        from repro.sim.trace import MessageRecord, Tracer
+        tr = Tracer()
+        for src, dst in [(0, 1), (2, 3)]:
+            tr.message(MessageRecord(src=src, dst=dst, tag=0, nbytes=0.0,
+                                     t_send_post=t, t_recv_post=t,
+                                     t_match=t, t_complete=t))
+        return tr
+
+    def test_zero_span_run_still_shows_activity(self):
+        # regression: hi == lo used to bin every interval to no columns,
+        # rendering communicating nodes as all-idle lanes
+        text = render_timeline(self._instant_tracer(), 4, width=16)
+        lines = text.splitlines()
+        assert ">" in lines[1]   # node 0 sent
+        assert "<" in lines[2]   # node 1 received
+        assert ">" in lines[3] and "<" in lines[4]
+
+    def test_zero_span_single_column_only(self):
+        text = render_timeline(self._instant_tracer(), 4, width=16)
+        lane0 = text.splitlines()[1].split("|")[1]
+        assert lane0[0] == ">" and set(lane0[1:]) == {"."}
+
+    def test_zero_width_does_not_crash(self):
+        text = render_timeline(self._instant_tracer(), 4, width=0)
+        assert "t = 5" in text
+
+    def test_instantaneous_transfer_in_finite_run_gets_a_column(self):
+        from repro.sim.trace import MessageRecord, Tracer
+        tr = Tracer()
+        tr.message(MessageRecord(src=0, dst=1, tag=0, nbytes=8.0,
+                                 t_send_post=0.0, t_recv_post=0.0,
+                                 t_match=0.0, t_complete=10.0))
+        tr.message(MessageRecord(src=2, dst=3, tag=0, nbytes=0.0,
+                                 t_send_post=5.0, t_recv_post=5.0,
+                                 t_match=5.0, t_complete=5.0))
+        text = render_timeline(tr, 4, width=10)
+        lane2 = text.splitlines()[3].split("|")[1]
+        assert lane2.count(">") == 1
+
+    def test_zero_span_utilization_is_zero(self):
+        assert utilization(self._instant_tracer(), 4) == [0.0] * 4

@@ -1,0 +1,144 @@
+"""SPMD strategy-agreement regression tests.
+
+``algorithm="auto"`` prices candidates with ``n * itemsize`` bytes, so
+every group member must feed the selector the same itemsize or ranks
+resolve *different* strategies — divergent send/recv patterns from what
+is supposed to be one collective.  The historical bcast bug did exactly
+that: the root derived the itemsize from its local buffer while
+non-root ranks (which hold no buffer) hardcoded 8, so any non-float64
+payload near a cost-model crossover split the group.  At p=30, n=256,
+float32 the root priced 1024 bytes and picked ``(30, M)`` while
+everyone else priced 2048 bytes and picked ``(2x15, SMC)``.
+
+These tests pin the fix: the strategy actually executed by each rank is
+read back from the per-rank ``op`` span (``attrs["strategy"]``), so the
+assertion covers the full dispatch path, not just the selector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.core.api import DEFAULT_ITEMSIZE, _agreed_itemsize
+from repro.sim import LinearArray, Machine, PARAGON
+
+
+def strategies_by_rank(run):
+    """rank -> strategy string recorded on that rank's op span."""
+    out = {}
+    for s in run.trace.closed_spans():
+        if s.phase == "op":
+            out[s.rank] = s.attrs["strategy"]
+    return out
+
+
+def bcast_prog(n, dtype, declare):
+    def prog(env):
+        buf = (np.arange(n).astype(dtype)
+               if env.rank == 0 else None)
+        out = yield from api.bcast(env, buf, root=0, total=n,
+                                   dtype=dtype if declare else None)
+        return out
+    return prog
+
+
+class TestBcastAgreement:
+    @pytest.mark.parametrize("dtype", [np.float32, np.int16, np.float64])
+    def test_all_ranks_pick_same_strategy(self, dtype):
+        # p=30, n=256 on PARAGON sits at a cost-model crossover: under
+        # the old root-buffer-derived itemsize this is exactly the
+        # configuration that split the group (root (30, M), rest
+        # (2x15, SMC)).
+        p, n = 30, 256
+        m = Machine(LinearArray(p), PARAGON)
+        run = m.run(bcast_prog(n, dtype, declare=True), trace=True)
+        strat = strategies_by_rank(run)
+        assert len(strat) == p
+        assert len(set(strat.values())) == 1, (
+            f"ranks diverged: {sorted(set(strat.values()))}")
+        # and the payload arrived intact everywhere
+        want = np.arange(n).astype(dtype)
+        for r in run.results:
+            np.testing.assert_array_equal(r, want)
+
+    def test_undeclared_dtype_agrees_too(self):
+        # With no dtype= every rank must fall back to the *same*
+        # default itemsize — the root's local buffer dtype must not
+        # leak into selection.
+        p, n = 30, 256
+        m = Machine(LinearArray(p), PARAGON)
+        run = m.run(bcast_prog(n, np.float32, declare=False), trace=True)
+        strat = strategies_by_rank(run)
+        assert len(set(strat.values())) == 1
+
+    def test_undeclared_default_matches_float64_declared(self):
+        # The compatibility default: dtype=None prices like float64.
+        p, n = 30, 256
+        m = Machine(LinearArray(p), PARAGON)
+        a = m.run(bcast_prog(n, np.float64, declare=True), trace=True)
+        b = m.run(bcast_prog(n, np.float64, declare=False), trace=True)
+        assert strategies_by_rank(a) == strategies_by_rank(b)
+
+    def test_declared_dtype_mismatch_raises_at_root(self):
+        def prog(env):
+            buf = np.arange(8, dtype=np.float64) if env.rank == 0 else None
+            yield from api.bcast(env, buf, root=0, total=8,
+                                 dtype=np.float32)
+
+        m = Machine(LinearArray(4), PARAGON)
+        with pytest.raises(ValueError, match="does not match the root"):
+            m.run(prog)
+
+    def test_selection_actually_depends_on_itemsize(self):
+        # Sanity for the regression: the two itemsizes the old code
+        # could mix (4 at root, 8 elsewhere) really do select different
+        # strategies at this point — i.e. this test fails against the
+        # hardcode, it does not pass vacuously.
+        from repro.core.selection import Selector
+        a = Selector(PARAGON, itemsize=4).best("bcast", 30, 256)
+        b = Selector(PARAGON, itemsize=8).best("bcast", 30, 256)
+        assert str(a.strategy) != str(b.strategy)
+
+
+class TestAgreedItemsize:
+    def test_default_is_float64(self):
+        assert _agreed_itemsize(None) == DEFAULT_ITEMSIZE == 8
+
+    def test_declared_dtypes(self):
+        assert _agreed_itemsize(np.float32) == 4
+        assert _agreed_itemsize(np.int16) == 2
+        assert _agreed_itemsize("u1") == 1
+
+
+class TestSymmetricOpsDtypeOverride:
+    """The rank-symmetric ops accept dtype= as an explicit contract."""
+
+    @pytest.mark.parametrize("op", ["reduce", "allreduce", "reduce_scatter"])
+    def test_override_matches_local_dtype_pricing(self, op):
+        def run(declare):
+            def prog(env):
+                vec = np.arange(64, dtype=np.float32)
+                fn = getattr(api, op)
+                kw = {"dtype": np.float32} if declare else {}
+                out = yield from fn(env, vec, **kw)
+                return out
+            return Machine(LinearArray(8), PARAGON).run(prog, trace=True)
+
+        a, b = run(True), run(False)
+        assert strategies_by_rank(a) == strategies_by_rank(b)
+        for ra, rb in zip(a.results, b.results):
+            if ra is None:
+                assert rb is None
+            else:
+                np.testing.assert_array_equal(ra, rb)
+
+    def test_collect_override(self):
+        def prog(env):
+            block = np.full(4, float(env.rank), dtype=np.float32)
+            out = yield from api.collect(env, block, dtype=np.float32)
+            return out
+
+        res = Machine(LinearArray(8), PARAGON).run(prog)
+        want = np.repeat(np.arange(8, dtype=np.float32), 4)
+        for r in res.results:
+            np.testing.assert_array_equal(r, want)

@@ -148,3 +148,53 @@ class TestSelectionHeuristics:
         a = cm.hybrid_bcast(Strategy((15, 2), "SSCC"), 30_000)
         b = cm.hybrid_bcast(Strategy((2, 15), "SSCC"), 30_000)
         assert a == pytest.approx(b)
+
+
+class TestLengthBucketing:
+    def test_bucket_is_floor_power_of_two(self):
+        from repro.core.selection import length_bucket
+        assert length_bucket(1) == 1
+        assert length_bucket(2) == 2
+        assert length_bucket(3) == 2
+        assert length_bucket(255) == 128
+        assert length_bucket(256) == 256
+        assert length_bucket(257) == 256
+        assert length_bucket(0) == 1  # degenerate lengths share a bucket
+
+    def test_same_bucket_shares_the_cached_choice(self):
+        sel = Selector(UNIT, itemsize=8)
+        a = sel.best("bcast", 12, 1500)
+        b = sel.best("bcast", 12, 2000)   # both bucket to 1024
+        assert a is b
+        c = sel.best("bcast", 12, 2048)   # next bucket
+        assert c is not a
+
+    def test_bucketing_is_deterministic_across_instances(self):
+        # the SPMD agreement property: two independent selectors (two
+        # "ranks") must map every n to the same strategy
+        s1 = Selector(PARAGON, itemsize=4)
+        s2 = Selector(PARAGON, itemsize=4)
+        for n in (1, 7, 255, 256, 1000, 4096, 10**6):
+            for op in ("bcast", "collect", "reduce_scatter"):
+                assert str(s1.best(op, 30, n).strategy) \
+                    == str(s2.best(op, 30, n).strategy)
+
+    def test_bucketed_choice_matches_exact_pricing(self):
+        # the bucket representative must not flip the winner anywhere
+        # near the paper's operating points
+        sel = Selector(PARAGON, itemsize=8)
+        for n in (1, 2, 100, 1000, 8192, 131072):
+            cached = sel.best("bcast", 30, n)
+            exact = sel.ranked("bcast", 30, n)[0]
+            assert str(cached.strategy) == str(exact.strategy)
+
+    def test_cache_is_bounded(self, monkeypatch):
+        import repro.core.selection as selection
+        monkeypatch.setattr(selection, "BEST_CACHE_LIMIT", 4)
+        sel = Selector(UNIT, itemsize=8)
+        for k in range(8):
+            sel.best("bcast", 6, 1 << k)
+        assert len(sel._cache) <= 4
+        # evicted entries are simply re-priced, same answer
+        again = sel.best("bcast", 6, 1)
+        assert str(again.strategy) == str(sel.ranked("bcast", 6, 1)[0].strategy)

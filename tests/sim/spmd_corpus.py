@@ -270,11 +270,16 @@ def canonical_results(run) -> str:
     return "\n".join(parts)
 
 
-def run_entry(name: str):
-    """Execute one corpus program with tracing on; returns the RunResult."""
+def run_entry(name: str, metrics: bool = False):
+    """Execute one corpus program with tracing on; returns the RunResult.
+
+    ``metrics`` additionally turns on channel-metrics collection — the
+    fingerprints must not change (instrumentation neutrality, see
+    docs/observability.md and the CI job of the same name).
+    """
     topo_spec, params_name, prog = CORPUS[name]
     machine = Machine(_topo(*topo_spec), preset(params_name), trace=True)
-    return machine.run(prog)
+    return machine.run(prog, metrics=metrics)
 
 
 def fingerprint(run) -> Dict[str, object]:
@@ -288,8 +293,9 @@ def fingerprint(run) -> Dict[str, object]:
     }
 
 
-def generate_goldens() -> Dict[str, Dict[str, object]]:
-    return {name: fingerprint(run_entry(name)) for name in CORPUS}
+def generate_goldens(metrics: bool = False) -> Dict[str, Dict[str, object]]:
+    return {name: fingerprint(run_entry(name, metrics=metrics))
+            for name in CORPUS}
 
 
 def main(argv=None) -> int:
@@ -299,8 +305,11 @@ def main(argv=None) -> int:
                     help="(re)generate the golden file")
     ap.add_argument("--check", action="store_true",
                     help="compare a fresh run against the golden file")
+    ap.add_argument("--metrics", action="store_true",
+                    help="run with channel metrics enabled (the goldens "
+                         "must still match: instrumentation neutrality)")
     args = ap.parse_args(argv)
-    goldens = generate_goldens()
+    goldens = generate_goldens(metrics=args.metrics)
     if args.write:
         os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
         with open(GOLDEN_PATH, "w") as f:

@@ -108,3 +108,177 @@ class TestTracer:
         recs = run.trace.by_completion()
         assert (recs[0].src, recs[0].dst) == (2, 3)
         assert (recs[1].src, recs[1].dst) == (0, 1)
+
+
+class TestStepTableTolerance:
+    def _tracer_with_matches(self, times):
+        tr = Tracer()
+        for i, t in enumerate(times):
+            tr.message(MessageRecord(src=0, dst=1, tag=0, nbytes=8.0,
+                                     t_send_post=0.0, t_recv_post=0.0,
+                                     t_match=t, t_complete=t + 1.0))
+        return tr
+
+    def test_float_noise_grouped_into_one_step(self):
+        # settle/eta arithmetic leaves ~1e-15 between same-round
+        # rendezvous; exact-equality grouping used to split the round.
+        t = 100.0
+        tr = self._tracer_with_matches([t, t + 1e-13, t + 2e-13])
+        steps = tr.step_table()
+        assert len(steps) == 1
+        assert len(steps[0][1]) == 3
+
+    def test_distinct_rounds_stay_split(self):
+        tr = self._tracer_with_matches([1.0, 2.0, 3.0])
+        assert len(tr.step_table()) == 3
+
+    def test_relative_tolerance_scales_with_magnitude(self):
+        # at t=1e6 a 1e-4 absolute gap is still the same round
+        # relatively (1e-10 rel), while at t=1 it is not even close to
+        # splitting threshold concerns -- both behave.
+        tr = self._tracer_with_matches([1e6, 1e6 + 1e-4])
+        assert len(tr.step_table()) == 1
+        tr = self._tracer_with_matches([1.0, 1.001])
+        assert len(tr.step_table()) == 2
+
+    def test_explicit_quantum_unchanged(self):
+        tr = self._tracer_with_matches([0.1, 0.9, 1.1])
+        steps = tr.step_table(time_quantum=1.0)
+        assert [len(r) for _, r in steps] == [2, 1]
+
+
+class TestWaitTimeNaN:
+    def test_half_posted_is_nan_both_orders(self):
+        import math
+        a = MessageRecord(src=0, dst=1, tag=0, nbytes=8.0,
+                          t_send_post=2.0)
+        b = MessageRecord(src=0, dst=1, tag=0, nbytes=8.0,
+                          t_recv_post=2.0)
+        assert math.isnan(a.wait_time)
+        assert math.isnan(b.wait_time)
+
+    def test_fully_posted_is_finite(self):
+        m = MessageRecord(src=0, dst=1, tag=0, nbytes=8.0,
+                          t_send_post=2.0, t_recv_post=5.0, t_match=5.0,
+                          t_complete=9.0)
+        assert m.wait_time == 3.0
+
+
+class TestSpans:
+    def test_open_close_records_interval(self):
+        tr = Tracer()
+        sp = tr.span_open(1.0, rank=2, label="stage", phase="scatter",
+                          attrs={"d": 5})
+        assert not sp.closed
+        tr.span_close(sp, 4.0)
+        assert sp.closed and sp.duration == 3.0
+        assert tr.spans_of(2) == [sp]
+        assert tr.closed_spans() == [sp]
+
+    def test_nesting_depth_per_rank(self):
+        tr = Tracer()
+        outer = tr.span_open(0.0, 0, "op")
+        inner = tr.span_open(1.0, 0, "stage")
+        other = tr.span_open(1.0, 1, "op")
+        assert outer.depth == 0 and inner.depth == 1
+        assert other.depth == 0  # depth is per rank
+        tr.span_close(inner, 2.0)
+        sibling = tr.span_open(3.0, 0, "stage2")
+        assert sibling.depth == 1
+
+    def test_collectives_emit_stage_spans(self):
+        from repro.core import api
+
+        def prog(env):
+            buf = (np.arange(64, dtype=np.float64)
+                   if env.rank == 0 else None)
+            yield from api.bcast(env, buf, root=0, total=64,
+                                 algorithm="2x2:SSCC")
+
+        run = traced_run(prog, p=4)
+        spans = run.trace.closed_spans()
+        ops = [s for s in spans if s.phase == "op"]
+        assert len(ops) == 4  # one op span per rank
+        assert all(s.label == "bcast" for s in ops)
+        assert all(s.attrs["strategy"] == "(2x2, SSCC)" for s in ops)
+        stages = [s for s in run.trace.spans_of(0) if s.depth == 1]
+        assert [s.phase for s in stages] == ["scatter", "scatter",
+                                             "collect", "collect"]
+        lo = min(s.t_start for s in stages)
+        hi = max(s.t_end for s in stages)
+        op0 = next(s for s in ops if s.rank == 0)
+        assert op0.t_start <= lo and hi <= op0.t_end
+
+    def test_spans_do_not_perturb_results(self):
+        # tracing on vs off: identical simulated time (spans are
+        # observational only)
+        from repro.core import api
+
+        def prog(env):
+            vec = np.arange(32, dtype=np.float64)
+            out = yield from api.allreduce(env, vec)
+            return out
+
+        m = Machine(LinearArray(4), UNIT)
+        on = m.run(prog, trace=True)
+        off = m.run(prog, trace=False)
+        assert on.time == off.time
+        assert on.trace.spans and off.trace is None
+
+
+class TestChromeExport:
+    def _run(self):
+        from repro.core import api
+
+        def prog(env):
+            buf = (np.arange(16, dtype=np.float64)
+                   if env.rank == 0 else None)
+            yield env.mark("go")
+            yield from api.bcast(env, buf, root=0, total=16,
+                                 algorithm="short")
+
+        return traced_run(prog, p=4)
+
+    def test_structure(self):
+        from repro.sim.trace import chrome_trace
+        doc = chrome_trace(self._run().trace)
+        evs = doc["traceEvents"]
+        phases = {e["ph"] for e in evs}
+        assert {"M", "X", "i"} <= phases
+        # spans on pid 0, messages on pid 1
+        span_evs = [e for e in evs if e["ph"] == "X" and e["pid"] == 0]
+        msg_evs = [e for e in evs if e["ph"] == "X" and e["pid"] == 1]
+        assert span_evs and msg_evs
+        assert all(e["dur"] >= 0 for e in span_evs)
+        assert all("nbytes" in e["args"] for e in msg_evs)
+        names = {e["args"]["name"] for e in evs
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"collective stages", "message transfers"}
+
+    def test_timescale_scales_timestamps(self):
+        from repro.sim.trace import chrome_trace
+        tr = self._run().trace
+        a = chrome_trace(tr, timescale=1.0)
+        b = chrome_trace(tr, timescale=1000.0)
+        xa = [e for e in a["traceEvents"] if e["ph"] == "X"]
+        xb = [e for e in b["traceEvents"] if e["ph"] == "X"]
+        assert xb[0]["ts"] == xa[0]["ts"] * 1000.0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        import json
+        from repro.sim.trace import write_chrome_trace
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(self._run().trace, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_attrs_stringified(self):
+        from repro.sim.trace import chrome_trace
+        tr = Tracer()
+        sp = tr.span_open(0.0, 0, "op", phase="op",
+                          attrs={"strategy": (2, 2), "n": 64})
+        tr.span_close(sp, 1.0)
+        doc = chrome_trace(tr)
+        ev = next(e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "op")
+        assert ev["args"] == {"strategy": "(2, 2)", "n": "64"}
