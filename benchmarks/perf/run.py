@@ -67,6 +67,8 @@ def main(argv=None) -> int:
                  if "speedup" in entry else "")
         if "metrics_overhead" in metrics:
             extra += f"  [+{metrics['metrics_overhead']:.1%} w/ metrics]"
+        if "audit_overhead" in metrics:
+            extra += f"  [+{metrics['audit_overhead']:.1%} w/ audit]"
         print(f" {metrics['wall_s']:.3f}s{extra}")
 
     report = {

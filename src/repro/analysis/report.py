@@ -17,6 +17,13 @@ exports it for a trace viewer (docs/observability.md)::
 which writes a Chrome-trace/Perfetto JSON of the stage spans and
 message transfers, and prints the critical path plus the busiest
 channels to stdout.
+
+The ``--audit`` mode runs the model-audit sweep
+(:mod:`repro.analysis.audit`): selection regret over a grid of cells,
+conflict-freedom verdicts for the four building blocks, and alpha/beta
+drift, written as one ``AUDIT_model.json`` artifact::
+
+    python -m repro.analysis.report --audit --grid smoke --check
 """
 
 from __future__ import annotations
@@ -223,6 +230,29 @@ def trace_main(op: str, p: int, nbytes: int, params_name: str,
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--audit" in argv:
+        import argparse
+
+        from .audit import GRIDS
+        from .audit import main as audit_main
+        ap = argparse.ArgumentParser(
+            prog="python -m repro.analysis.report",
+            description="run the model audit: selection regret, "
+                        "conflict-freedom, alpha/beta drift")
+        ap.add_argument("--audit", action="store_true", required=True)
+        ap.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
+        ap.add_argument("--params", default="paragon",
+                        help="machine parameter preset")
+        ap.add_argument("--out", default="AUDIT_model.json",
+                        help="output JSON artifact path")
+        ap.add_argument("--check", action="store_true",
+                        help="exit nonzero on violated conflict-freedom "
+                             "or median regret above the gate")
+        ap.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+        ns = ap.parse_args(argv)
+        return audit_main(ns.grid, ns.params, ns.out, ns.check,
+                          verbose=not ns.quiet)
     if "--trace" in argv:
         import argparse
         ap = argparse.ArgumentParser(

@@ -114,6 +114,13 @@ def resolve_strategy(ctx: CollContext, operation: str,
     ``itemsize`` must be rank-agreed (see :func:`_agreed_itemsize`):
     it feeds the cost model, and the chosen strategy dictates the
     communication pattern every member executes.
+
+    When the run is traced, an ``"auto"`` resolution also records the
+    Selector's prediction — chosen cost, conflict factors, and the full
+    ranked candidate list — onto the collective's op span (prediction
+    capture, see ``docs/observability.md`` and :mod:`repro.obs.audit`).
+    The capture is strictly passive and costs nothing when tracing is
+    off.
     """
     p = ctx.size
     if isinstance(algorithm, Strategy):
@@ -124,9 +131,35 @@ def resolve_strategy(ctx: CollContext, operation: str,
         return Strategy((p,), _LONG[operation])
     if algorithm == "auto":
         sel = selector_for(ctx.env.params, itemsize=itemsize)
-        return sel.best(operation, p, n, mesh_shape=_mesh_shape(ctx)).strategy
+        mesh_shape = _mesh_shape(ctx)
+        choice = sel.best(operation, p, n, mesh_shape=mesh_shape)
+        if ctx.env.engine.tracer is not None:
+            _capture_prediction(ctx, sel, operation, p, n, itemsize,
+                                mesh_shape, choice)
+        return choice.strategy
     # otherwise: a strategy string like "2x3x5:SSMCC"
     return Strategy.parse(algorithm)
+
+
+def _capture_prediction(ctx: CollContext, sel, operation: str, p: int,
+                        n: int, itemsize: int, mesh_shape, choice) -> None:
+    """Stash the Selector's prediction for the op span about to open.
+
+    Reads the ranking back out of the selector's bucket cache (a hit —
+    :meth:`~repro.core.selection.Selector.best` just populated it), so
+    capture adds no pricing work beyond tuple construction.
+    """
+    from .selection import length_bucket
+    ranked = sel.ranked_bucketed(operation, p, n, mesh_shape)
+    ctx.annotate_next_op(
+        predicted_cost=choice.cost,
+        predicted_conflicts=tuple(choice.conflicts),
+        selector_candidates=tuple((str(c.strategy), c.cost)
+                                  for c in ranked),
+        selector_bucket=length_bucket(n),
+        selector_itemsize=itemsize,
+        selector_mesh_shape=mesh_shape,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -37,7 +37,8 @@ class CollContext:
         (source, tag) pair).
     """
 
-    __slots__ = ("env", "group", "tag", "rank", "_phys2log", "_eng")
+    __slots__ = ("env", "group", "tag", "rank", "_phys2log", "_eng",
+                 "_op_attrs")
 
     def __init__(self, env: RankEnv, group: Optional[Sequence[int]] = None,
                  tag: int = 0):
@@ -53,6 +54,7 @@ class CollContext:
         self._phys2log = {p: l for l, p in enumerate(self.group)}
         self.rank: Optional[int] = self._phys2log.get(env.rank)
         self._eng = env.engine
+        self._op_attrs: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # shape
@@ -132,12 +134,38 @@ class CollContext:
         passed to :meth:`span_close`.  Plain method calls, not requests:
         spans carry no simulated cost and never touch the event heap,
         so instrumented runs stay bit-identical.
+
+        An ``"op"``-phase span additionally absorbs (and clears) any
+        attributes stashed by :meth:`annotate_next_op` — this is how
+        ``algorithm="auto"`` dispatch attaches its prediction record to
+        the whole-collective span the hybrid opens a moment later.
         """
         tracer = self._eng.tracer
         if tracer is None:
             return None
+        if phase == "op" and self._op_attrs is not None:
+            merged = self._op_attrs
+            merged.update(attrs)
+            attrs = merged
+            self._op_attrs = None
         return tracer.span_open(self._eng.now, self.env.rank, label,
                                 phase=phase, attrs=attrs or None)
+
+    def annotate_next_op(self, **attrs) -> None:
+        """Stash attributes for the next ``"op"``-phase span on this
+        context (no-op when tracing is off).
+
+        Strategy resolution happens in :mod:`repro.core.api` *before*
+        the hybrid opens its op span, so the resolver cannot annotate
+        the span directly; it leaves the prediction record here and
+        :meth:`span_open` merges it in.  Purely observational: never
+        touches simulated state.
+        """
+        if self._eng.tracer is None:
+            return
+        if self._op_attrs is None:
+            self._op_attrs = {}
+        self._op_attrs.update(attrs)
 
     def span_close(self, span) -> None:
         """Close a span opened with :meth:`span_open` (None is a no-op)."""

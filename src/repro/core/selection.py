@@ -26,6 +26,7 @@ dimensions are used first while vectors are long.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,12 +45,16 @@ def length_bucket(n: int) -> int:
     """Representative vector length for memoizing strategy choices.
 
     Floor power of two: all lengths in ``[2^k, 2^(k+1))`` price — and
-    therefore cache — as ``2^k``.  The crossover points of the cost
-    model move far slower than that (the short/long switch is driven by
-    the alpha/beta ratio, thousands of elements apart), so bucketing
-    never flips a choice in practice while collapsing the per-exact-n
-    cache misses an iterative application generates (p=30 runs with
-    n=255 vs n=256 previously priced the full candidate set twice).
+    therefore cache — as ``2^k``.  Away from the model's crossover
+    points this never changes the winner; a bucket that spans a
+    crossover serves the representative's winner for the whole bucket,
+    which costs at most 2x the true optimum (cost is nondecreasing and
+    at most linear in ``n``, and the representative is within 2x —
+    ~1.23x observed at the Paragon bcast short/long switch, 1.0
+    elsewhere; pinned by the bucketing property test).  In exchange the
+    per-exact-n cache misses an iterative application generates
+    disappear (p=30 runs with n=255 vs n=256 previously priced the full
+    candidate set twice).
 
     Deterministic and rank-independent by construction: every rank maps
     the same ``n`` to the same bucket, preserving the SPMD
@@ -145,7 +150,11 @@ class Selector:
         self.params = params
         self.model = CostModel(params, itemsize=itemsize)
         self.max_factors = max_factors
-        self._cache: Dict[Tuple, Choice] = {}
+        #: LRU over full bucket rankings: most recently *used* last.
+        self._cache: "OrderedDict[Tuple, Tuple[Choice, ...]]" = OrderedDict()
+        #: field snapshot at construction; :func:`selector_for` uses it to
+        #: detect in-place mutation of a cached selector's params.
+        self._params_fingerprint = params_fingerprint(params)
 
     # ------------------------------------------------------------------
 
@@ -216,32 +225,69 @@ class Selector:
                 if inter is not None:
                     add(s, inter)
 
-        choices.sort(key=lambda c: (c.cost, len(c.strategy.dims)))
+        choices.sort(key=_rank_key)
         return choices
+
+    def ranked_bucketed(self, operation: str, p: int, n: int,
+                        mesh_shape: Optional[Tuple[int, int]] = None
+                        ) -> Tuple[Choice, ...]:
+        """The full ranking, memoized per log2 length bucket.
+
+        This is what :meth:`best` reads its winner from, and what the
+        audit layer (``repro.obs.audit``) records as the candidate list
+        of an ``algorithm="auto"`` dispatch: pricing happens once at the
+        bucket representative (:func:`length_bucket`) and the whole
+        ranking is reused for every length in the bucket.
+
+        The cache is a true LRU bounded at :data:`BEST_CACHE_LIMIT`
+        entries: a hit refreshes the entry (``move_to_end``), eviction
+        removes the least recently *used* ranking — so a hot entry
+        inserted early is never evicted ahead of cold ones.
+        """
+        key = (operation, p, length_bucket(n), mesh_shape)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+            return hit
+        ranked = tuple(self.ranked(operation, p, key[2], mesh_shape))
+        if not ranked:
+            raise RuntimeError(
+                f"no viable strategy for {operation} on p={p}")
+        while len(self._cache) >= BEST_CACHE_LIMIT:
+            self._cache.popitem(last=False)
+        self._cache[key] = ranked
+        return ranked
 
     def best(self, operation: str, p: int, n: int,
              mesh_shape: Optional[Tuple[int, int]] = None) -> Choice:
         """The cheapest strategy for (operation, group size, length).
 
-        Memoized per log2 length bucket (:func:`length_bucket`), not per
-        exact ``n``: the ranking is priced once at the bucket
-        representative and reused for every length in the bucket.  The
-        cache is bounded at :data:`BEST_CACHE_LIMIT` entries (oldest
-        evicted first); the bucketing keeps the working set tiny anyway
-        (~60 buckets span one element to a petabyte vector).
+        Memoized per log2 length bucket via :meth:`ranked_bucketed`, not
+        per exact ``n``; the bucketing keeps the working set tiny (~60
+        buckets span one element to a petabyte vector).
         """
-        key = (operation, p, length_bucket(n), mesh_shape)
-        hit = self._cache.get(key)
-        if hit is None:
-            ranked = self.ranked(operation, p, key[2], mesh_shape)
-            if not ranked:
-                raise RuntimeError(
-                    f"no viable strategy for {operation} on p={p}")
-            hit = ranked[0]
-            if len(self._cache) >= BEST_CACHE_LIMIT:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = hit
-        return hit
+        return self.ranked_bucketed(operation, p, n, mesh_shape)[0]
+
+
+def _rank_key(c: Choice) -> Tuple:
+    """Sort key of :meth:`Selector.ranked`.
+
+    Cost first, fewer dimensions preferred on ties; the trailing
+    ``(dims, ops)`` terms are a *total* deterministic order so that
+    equal-cost candidates (float ties are common — e.g. SSCC
+    transpositions on a linear array price identically) can never
+    reorder between runs, processes, or ranks.  Every rank of an SPMD
+    group must resolve ``algorithm="auto"`` to the same strategy, and a
+    stable-sort of an insertion-ordered list is not a contract we want
+    to lean on.
+    """
+    return (c.cost, len(c.strategy.dims), c.strategy.dims, c.strategy.ops)
+
+
+def params_fingerprint(params: MachineParams) -> Tuple:
+    """Value snapshot of the fields that drive pricing."""
+    return (params.alpha, params.beta, params.gamma,
+            params.sw_overhead, params.link_capacity)
 
 
 _selectors: Dict[Tuple, Selector] = {}
@@ -249,10 +295,39 @@ _selectors: Dict[Tuple, Selector] = {}
 
 def selector_for(params: MachineParams, itemsize: int = 8,
                  max_factors: int = 3) -> Selector:
-    """Process-wide memoized selector per parameter set."""
-    key = (params, itemsize, max_factors)
-    sel = _selectors.get(key)
+    """Process-wide memoized selector per parameter set.
+
+    ``params`` must be a hashable (frozen) :class:`MachineParams`-like
+    object and must not be mutated in place after use: the cache is
+    keyed by value, and a cached selector keeps pricing with the
+    constants it saw at construction.  Both misuses raise immediately
+    with a clear message instead of silently corrupting the cache or
+    returning a selector whose prices disagree with its key.
+    """
+    try:
+        fingerprint = params_fingerprint(params)
+    except AttributeError:
+        raise TypeError(
+            f"selector_for needs a MachineParams-like object with "
+            f"alpha/beta/gamma/sw_overhead/link_capacity fields; got "
+            f"{type(params).__name__!r}") from None
+    try:
+        key = (params, itemsize, max_factors)
+        sel = _selectors.get(key)
+    except TypeError:
+        raise TypeError(
+            f"selector_for caches per parameter set, so params must be "
+            f"hashable (use the frozen MachineParams dataclass); got an "
+            f"unhashable {type(params).__name__!r}") from None
     if sel is None:
         sel = Selector(params, itemsize=itemsize, max_factors=max_factors)
         _selectors[key] = sel
+    elif (sel._params_fingerprint != params_fingerprint(sel.params)
+          or sel._params_fingerprint != fingerprint):
+        raise RuntimeError(
+            "a MachineParams cached by selector_for was mutated in place "
+            "(e.g. via object.__setattr__ on the frozen dataclass); the "
+            "cached selector would keep serving strategies priced with "
+            "the old constants.  Build a fresh MachineParams (e.g. "
+            "params.with_(...)) instead of mutating one.")
     return sel

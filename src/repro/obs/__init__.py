@@ -18,7 +18,13 @@ heuristics and Table 2 conflict analysis rest on:
   alpha/beta time per hop;
 * **trace export** (:func:`repro.sim.trace.chrome_trace`) — Chrome
   ``chrome://tracing`` / Perfetto JSON, via
-  ``python -m repro.analysis.report --trace ...``.
+  ``python -m repro.analysis.report --trace ...``;
+* **model audit** (:mod:`repro.obs.audit`) — predicted-vs-measured cost
+  tracking for ``algorithm="auto"`` dispatch (``RunResult.audit``), the
+  conflict-freedom verifier for the four building blocks, and
+  alpha/beta drift detection; the selection-regret sweep lives in
+  :mod:`repro.analysis.audit` (``python -m repro.analysis.report
+  --audit``).
 
 Everything is zero-cost when disabled and strictly passive when
 enabled: the golden-equivalence corpus is bit-identical with
@@ -45,6 +51,21 @@ _LAZY = {
     "critical_path": ("repro.analysis.critpath", "critical_path"),
     "critical_path_summary": ("repro.analysis.critpath",
                               "critical_path_summary"),
+    # model-audit observatory (lazy: repro.obs.audit pulls in sim/core)
+    "RunAudit": ("repro.obs.audit", "RunAudit"),
+    "OpAudit": ("repro.obs.audit", "OpAudit"),
+    "audit_run": ("repro.obs.audit", "audit_run"),
+    "predicted_terms": ("repro.obs.audit", "predicted_terms"),
+    "ConflictVerdict": ("repro.obs.audit", "ConflictVerdict"),
+    "ChannelShare": ("repro.obs.audit", "ChannelShare"),
+    "FlowShare": ("repro.obs.audit", "FlowShare"),
+    "contended_channels": ("repro.obs.audit", "contended_channels"),
+    "verify_building_blocks": ("repro.obs.audit", "verify_building_blocks"),
+    "run_block_primitive": ("repro.obs.audit", "run_block_primitive"),
+    "BUILDING_BLOCKS": ("repro.obs.audit", "BUILDING_BLOCKS"),
+    "DriftReport": ("repro.obs.audit", "DriftReport"),
+    "fit_drift": ("repro.obs.audit", "fit_drift"),
+    "drift_from_runs": ("repro.obs.audit", "drift_from_runs"),
 }
 
 __all__ = [

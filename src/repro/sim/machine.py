@@ -45,6 +45,12 @@ class RunResult:
         field(default=None, repr=False, compare=False)
     _metrics_cache: Optional[Dict[Tuple, ChannelStats]] = \
         field(default=None, repr=False, compare=False)
+    #: machine constants the run was simulated under; lets :attr:`audit`
+    #: attribute time alpha/beta-style without the caller re-supplying them
+    params: Optional[MachineParams] = \
+        field(default=None, repr=False, compare=False)
+    _audit_cache: Optional[object] = \
+        field(default=None, repr=False, compare=False)
 
     @property
     def channel_metrics(self) -> Optional[Dict[Tuple, ChannelStats]]:
@@ -62,6 +68,26 @@ class RunResult:
             collector, resources = self.metrics_source
             self._metrics_cache = collector.snapshot(resources)
         return self._metrics_cache
+
+    @property
+    def audit(self):
+        """Predicted-vs-measured audit of the run's collectives, or None
+        when the run was not traced.
+
+        A :class:`repro.obs.audit.RunAudit`: one entry per collective
+        with the Selector's predicted cost (captured on the op span by
+        ``algorithm="auto"`` dispatch), the measured simulated time, the
+        predicted/measured ratio, per-term model attribution
+        (alpha/beta/gamma/overhead) and the measured critical-path
+        split.  Lazily computed and cached; strictly read-only over the
+        trace.
+        """
+        if self.trace is None:
+            return None
+        if self._audit_cache is None:
+            from ..obs.audit import audit_run
+            self._audit_cache = audit_run(self)
+        return self._audit_cache
 
     def result_of(self, rank: int) -> Any:
         return self.results[rank]
@@ -145,4 +171,5 @@ class Machine:
             flows=engine.network.flows_started,
             metrics_source=(collector, engine.network._res_list)
             if collector is not None else None,
+            params=self.params,
         )

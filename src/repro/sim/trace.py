@@ -135,6 +135,21 @@ class Tracer:
     def closed_spans(self) -> List[SpanRecord]:
         return [s for s in self.spans if s.closed]
 
+    def spans_by_phase(self, phase: str) -> List[SpanRecord]:
+        """All closed spans of one stage family, record order."""
+        return [s for s in self.spans if s.phase == phase and s.closed]
+
+    def op_spans(self) -> List[SpanRecord]:
+        """The whole-collective spans, record order.
+
+        One per rank per collective; the span's ``attrs`` carry the
+        resolved strategy and — for ``algorithm="auto"`` dispatches on a
+        traced run — the Selector's prediction record (``predicted_cost``,
+        ``predicted_conflicts``, ``selector_candidates``, ...) that the
+        audit layer (:mod:`repro.obs.audit`) reads back.
+        """
+        return self.spans_by_phase("op")
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -198,3 +198,154 @@ class TestLengthBucketing:
         # evicted entries are simply re-priced, same answer
         again = sel.best("bcast", 6, 1)
         assert str(again.strategy) == str(sel.ranked("bcast", 6, 1)[0].strategy)
+
+
+class TestLRUEvictionOrder:
+    """The bucket cache is a true LRU: a *hit* refreshes the entry, so
+    eviction removes the least recently used ranking, not the oldest
+    insertion (regression: the original dict-based cache evicted hot
+    entries inserted early)."""
+
+    def test_hit_refreshes_against_eviction(self, monkeypatch):
+        import repro.core.selection as selection
+        monkeypatch.setattr(selection, "BEST_CACHE_LIMIT", 2)
+        sel = Selector(UNIT, itemsize=8)
+        a = sel.best("bcast", 6, 1)          # insert A
+        sel.best("bcast", 6, 1024)           # insert B
+        assert sel.best("bcast", 6, 1) is a  # hit A -> A becomes MRU
+        sel.best("bcast", 6, 1 << 20)        # insert C -> evicts B
+        keys = list(sel._cache)
+        assert ("bcast", 6, 1, None) in keys          # A retained
+        assert ("bcast", 6, 1024, None) not in keys   # B (LRU) evicted
+        assert sel.best("bcast", 6, 1) is a  # A still the cached object
+
+    def test_plain_fifo_would_fail_here(self, monkeypatch):
+        # the discriminating sequence: under insertion-order eviction the
+        # first-inserted entry dies despite being the only one ever hit
+        import repro.core.selection as selection
+        monkeypatch.setattr(selection, "BEST_CACHE_LIMIT", 3)
+        sel = Selector(UNIT, itemsize=8)
+        hot = sel.best("collect", 6, 8)
+        sel.best("collect", 6, 128)
+        sel.best("collect", 6, 2048)
+        for n in (1 << 15, 1 << 17, 1 << 19):   # churn: 3 evictions
+            assert sel.best("collect", 6, 8) is hot   # keep touching hot
+            sel.best("collect", 6, n)
+        assert ("collect", 6, 8, None) in sel._cache
+
+
+class TestRankedTieBreak:
+    """Equal-cost candidates are common (SSCC transpositions price
+    identically on linear arrays); the SPMD agreement contract needs a
+    total deterministic order, not a stable sort of insertion order."""
+
+    def test_rank_key_is_a_total_order(self):
+        from repro.core.selection import _rank_key
+        sel = Selector(UNIT, itemsize=1)
+        ranked = sel.ranked("bcast", 30, 30_000)
+        costs = [c.cost for c in ranked]
+        # precondition: float ties actually exist in this ranking
+        assert len(set(costs)) < len(costs)
+        keys = [_rank_key(c) for c in ranked]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_full_ranking_identical_across_selectors(self):
+        for op in ("bcast", "collect", "reduce_scatter"):
+            r1 = Selector(UNIT, itemsize=1).ranked(op, 30, 30_000)
+            r2 = Selector(UNIT, itemsize=1).ranked(op, 30, 30_000)
+            assert [str(c.strategy) for c in r1] \
+                == [str(c.strategy) for c in r2]
+
+
+class TestSelectorForGuards:
+    def test_non_params_object_raises_cleanly(self):
+        with pytest.raises(TypeError, match="MachineParams-like"):
+            selector_for({"alpha": 1.0, "beta": 1.0})
+
+    def test_unhashable_params_raise_cleanly(self):
+        class UnhashableParams:
+            __hash__ = None
+            alpha = beta = gamma = 1.0
+            sw_overhead = 0.0
+            link_capacity = 1.0
+        with pytest.raises(TypeError, match="hashable"):
+            selector_for(UnhashableParams())
+
+    def test_mutated_cached_params_detected_on_reuse(self):
+        # identity-hashed params-like object: mutation keeps the cache
+        # key reachable, so the stale-pricing hazard is real and must
+        # raise instead of silently serving old prices
+        class IdentityHashedParams:
+            def __init__(self):
+                self.alpha = 1.0
+                self.beta = 2.0
+                self.gamma = 1.0
+                self.sw_overhead = 0.0
+                self.link_capacity = 1.0
+        p = IdentityHashedParams()
+        assert selector_for(p) is selector_for(p)
+        p.alpha = 5.0
+        with pytest.raises(RuntimeError, match="mutated in place"):
+            selector_for(p)
+
+    def test_frozen_dataclass_replacement_is_the_supported_path(self):
+        base = MachineParams(alpha=3.25, beta=1.5, gamma=0.5)
+        changed = base.with_(alpha=6.5)
+        assert selector_for(base) is not selector_for(changed)
+        assert selector_for(changed).params.alpha == 6.5
+
+
+class TestBucketingNeverFlips:
+    """Property test for the :func:`length_bucket` memoization.
+
+    Two guarantees, checked across every operation at bucket edges and
+    mid-bucket lengths:
+
+    1. the bucketed choice IS the exact optimum at the bucket
+       representative (memoization changes where pricing happens, never
+       what pricing says), and
+    2. when the bucket spans a model crossover — so the winner at the
+       representative differs from the winner at the exact length — the
+       served strategy's exact-length cost stays within 2x of the true
+       optimum.  The 2x is provable, not tuned: every hybrid cost is
+       nondecreasing and at most linear in ``n``; with representative
+       ``m = length_bucket(n)`` and ``m <= n < 2m``,
+       ``cost_A(n) <= 2 cost_A(m) <= 2 cost_B(m) <= 2 cost_B(n)`` for
+       the served A vs optimal B.  Observed gaps sit at ~1.23x right at
+       the Paragon bcast short/long crossover and 1.0 elsewhere.
+    """
+
+    CROSSOVER_BOUND = 2.0
+
+    def _lengths(self):
+        for k in range(1, 18, 2):
+            yield (1 << k) - 1      # just below a bucket edge
+            yield 1 << k            # on the edge
+            yield (1 << k) + 1      # just above
+            yield 3 << (k - 1)      # mid-bucket
+
+    @pytest.mark.parametrize("params", [UNIT, PARAGON],
+                             ids=["unit", "paragon"])
+    @pytest.mark.parametrize("p", [7, 30])
+    def test_bucketed_winner_never_meaningfully_loses(self, params, p):
+        from repro.core.selection import OPERATIONS, length_bucket
+        sel = Selector(params, itemsize=8)
+        for op in OPERATIONS:
+            for n in self._lengths():
+                bucketed = sel.best(op, p, n)
+                # guarantee 1: identical to exact pricing at the
+                # representative length
+                rep = sel.ranked(op, p, length_bucket(n))[0]
+                assert str(bucketed.strategy) == str(rep.strategy)
+                exact = sel.ranked(op, p, n)[0]
+                if str(bucketed.strategy) == str(exact.strategy):
+                    continue
+                # guarantee 2: a crossover flip costs at most 2x
+                repriced = sel.model.hybrid(
+                    op, bucketed.strategy, n,
+                    conflicts=bucketed.conflicts)
+                assert repriced <= exact.cost * self.CROSSOVER_BOUND, (
+                    f"{op} p={p} n={n}: bucket chose "
+                    f"{bucketed.strategy} at exact cost {repriced}, "
+                    f"optimum {exact.strategy} costs {exact.cost}")

@@ -270,16 +270,24 @@ def canonical_results(run) -> str:
     return "\n".join(parts)
 
 
-def run_entry(name: str, metrics: bool = False):
+def run_entry(name: str, metrics: bool = False, audit: bool = False):
     """Execute one corpus program with tracing on; returns the RunResult.
 
     ``metrics`` additionally turns on channel-metrics collection — the
     fingerprints must not change (instrumentation neutrality, see
-    docs/observability.md and the CI job of the same name).
+    docs/observability.md and the CI job of the same name).  ``audit``
+    turns metrics on AND forces the full model-audit readback
+    (``run.audit`` + ``run.channel_metrics``) before fingerprinting:
+    prediction capture and the audit layer must also be invisible to
+    simulated results.
     """
     topo_spec, params_name, prog = CORPUS[name]
     machine = Machine(_topo(*topo_spec), preset(params_name), trace=True)
-    return machine.run(prog, metrics=metrics)
+    run = machine.run(prog, metrics=metrics or audit)
+    if audit:
+        assert run.audit is not None
+        assert run.channel_metrics is not None
+    return run
 
 
 def fingerprint(run) -> Dict[str, object]:
@@ -293,8 +301,9 @@ def fingerprint(run) -> Dict[str, object]:
     }
 
 
-def generate_goldens(metrics: bool = False) -> Dict[str, Dict[str, object]]:
-    return {name: fingerprint(run_entry(name, metrics=metrics))
+def generate_goldens(metrics: bool = False, audit: bool = False
+                     ) -> Dict[str, Dict[str, object]]:
+    return {name: fingerprint(run_entry(name, metrics=metrics, audit=audit))
             for name in CORPUS}
 
 
@@ -308,8 +317,12 @@ def main(argv=None) -> int:
     ap.add_argument("--metrics", action="store_true",
                     help="run with channel metrics enabled (the goldens "
                          "must still match: instrumentation neutrality)")
+    ap.add_argument("--audit", action="store_true",
+                    help="additionally force the model-audit readback "
+                         "(run.audit) before fingerprinting; the goldens "
+                         "must still match")
     args = ap.parse_args(argv)
-    goldens = generate_goldens(metrics=args.metrics)
+    goldens = generate_goldens(metrics=args.metrics, audit=args.audit)
     if args.write:
         os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
         with open(GOLDEN_PATH, "w") as f:

@@ -59,3 +59,25 @@ def test_run_to_run_determinism(name):
     assert a.messages == b.messages
     assert corpus.trace_stream(a) == corpus.trace_stream(b)
     assert corpus.canonical_results(a) == corpus.canonical_results(b)
+
+
+#: auto-dispatch entries where prediction capture actually fires, plus
+#: one span-free adversarial entry (audit of zero op spans)
+_AUDIT_NEUTRALITY_ENTRIES = [
+    "bcast-auto-p12",
+    "allreduce-auto-mesh4x6",
+    "bcast-auto-subset",
+    "ptp-churn-ring16",
+]
+
+
+@pytest.mark.parametrize("name", _AUDIT_NEUTRALITY_ENTRIES)
+def test_audit_readback_is_passive(name, goldens):
+    """Prediction capture + the full model-audit readback (metrics on,
+    ``run.audit`` forced) must leave every fingerprint bit-identical —
+    the observability contract of docs/observability.md extended to the
+    audit layer.  The whole corpus is swept by the CI job
+    (``spmd_corpus --check --audit``); this pins the representative
+    entries in the tier-1 suite."""
+    got = corpus.fingerprint(corpus.run_entry(name, audit=True))
+    assert got == goldens[name]
