@@ -1,0 +1,5 @@
+"""Seeded chaos harness for the fault-injection subsystem.
+
+See :mod:`benchmarks.chaos.cases` for the grid and
+:mod:`benchmarks.chaos.run` for the CLI / report writer.
+"""

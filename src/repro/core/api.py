@@ -130,12 +130,27 @@ def resolve_strategy(ctx: CollContext, operation: str,
     if algorithm == "long":
         return Strategy((p,), _LONG[operation])
     if algorithm == "auto":
-        sel = selector_for(ctx.env.params, itemsize=itemsize)
+        params = ctx.env.params
+        # Degraded-link pricing (docs/robustness.md): when the fault
+        # schedule declares link slowdowns, price candidates with the
+        # worst declared beta multiplier so the Selector re-ranks for
+        # the degraded machine.  Derived from the *schedule* (not the
+        # instantaneous fault state) so every rank prices identically
+        # regardless of when it resolves — the SPMD agreement contract.
+        beta_mult = 1.0
+        fs = ctx.env.engine._faults
+        if fs is not None:
+            beta_mult = fs.schedule.pricing_beta_multiplier()
+            if beta_mult > 1.0:
+                params = params.with_(beta=params.beta * beta_mult)
+        sel = selector_for(params, itemsize=itemsize)
         mesh_shape = _mesh_shape(ctx)
         choice = sel.best(operation, p, n, mesh_shape=mesh_shape)
         if ctx.env.engine.tracer is not None:
             _capture_prediction(ctx, sel, operation, p, n, itemsize,
                                 mesh_shape, choice)
+            if beta_mult > 1.0:
+                ctx.annotate_next_op(selector_beta_multiplier=beta_mult)
         return choice.strategy
     # otherwise: a strategy string like "2x3x5:SSMCC"
     return Strategy.parse(algorithm)

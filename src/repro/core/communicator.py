@@ -89,6 +89,26 @@ class Communicator:
         group = [self.ctx.group[l] for l in lranks]
         return Communicator(self.env, group, self._next_context_id())
 
+    def shrink(self) -> "Communicator":
+        """Subcommunicator excluding crashed nodes (ULFM-style recovery,
+        docs/robustness.md).
+
+        Under the simulator's perfect failure detector every member sees
+        the same set of scheduled crashes, so all survivors derive the
+        same group and the same context id without communicating — the
+        local analogue of ``MPIX_Comm_shrink``.  Logical rank order of
+        survivors is preserved.  Raises when *every* member is crashed
+        (the calling rank must itself be a survivor to use the result).
+        """
+        fs = self.env.engine._faults
+        dead = (fs.schedule.crashed_nodes() if fs is not None
+                else frozenset())
+        survivors = [l for l, node in enumerate(self.ctx.group)
+                     if node not in dead]
+        if not survivors:
+            raise RuntimeError("shrink: no surviving members in group")
+        return self.incl(survivors)
+
     def split(self, color: int, key: Optional[int] = None) -> Generator:
         """MPI_Comm_split: members with equal ``color`` form a new
         communicator, ordered by ``key`` (then by old rank).

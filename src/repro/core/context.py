@@ -85,6 +85,27 @@ class CollContext:
         return self.rank
 
     # ------------------------------------------------------------------
+    # engine limits (docs/robustness.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def max_events(self) -> int:
+        """The engine's event-count safety limit.
+
+        Settable from rank programs: lowering it turns a suspected
+        runaway collective into a prompt
+        :class:`~repro.sim.engine.SimulationLimitError` instead of a
+        multi-minute spin to the default limit.
+        """
+        return self._eng.max_events
+
+    @max_events.setter
+    def max_events(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("max_events must be positive")
+        self._eng.max_events = value
+
+    # ------------------------------------------------------------------
     # communication in logical coordinates
     # ------------------------------------------------------------------
 

@@ -5,6 +5,11 @@ Table 1 of the paper defines the seven operations in terms of a vector
 with a combine ``(+)``.  These functions compute the "After" column of
 that table directly, with no communication, for use as ground truth in
 tests, examples and benchmark self-checks.
+
+Errors are diagnostic: a bad partition names the offending block/rank
+and the exact gap or overshoot, and mismatched combine operands name
+the rank whose extent disagrees — an oracle that only says "shapes
+mismatch" is useless inside a 216-case conformance sweep.
 """
 
 from __future__ import annotations
@@ -17,6 +22,55 @@ from .ops import get_op
 from .partition import partition_offsets, partition_sizes
 
 
+def _check_root(root: int, p: int) -> None:
+    if not 0 <= root < p:
+        raise ValueError(
+            f"root rank {root} out of range for a {p}-rank group "
+            f"(expected 0 <= root < {p})")
+
+
+def _check_partition(nelems: int, sizes: Sequence[int]) -> List[int]:
+    """Validate that ``sizes`` exactly tiles ``nelems`` elements.
+
+    Returns the block offsets.  Raises a ValueError naming the offending
+    block/rank and the expected-vs-actual extents.
+    """
+    for j, s in enumerate(sizes):
+        if s < 0:
+            raise ValueError(
+                f"partition block {j} (rank {j}) has negative size {s}")
+    offs = partition_offsets(sizes)
+    covered = offs[-1]
+    if covered == nelems:
+        return offs
+    if covered < nelems:
+        raise ValueError(
+            f"partition does not cover the vector: the {len(sizes)} blocks "
+            f"end at offset {covered} but the vector has {nelems} elements "
+            f"— {nelems - covered} element(s) after the last block "
+            f"(rank {len(sizes) - 1}) belong to no rank")
+    # Overshoot: name the first block that crosses the end of the vector.
+    for j in range(len(sizes)):
+        if offs[j + 1] > nelems:
+            raise ValueError(
+                f"partition does not cover the vector: block {j} (rank {j}) "
+                f"spans [{offs[j]}, {offs[j + 1]}) which runs "
+                f"{offs[j + 1] - nelems} element(s) past the vector end "
+                f"{nelems}")
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _check_equal_lengths(vectors: Sequence[np.ndarray], what: str) -> None:
+    """Element-wise combines need identical extents on every rank."""
+    n0 = len(vectors[0])
+    for j, v in enumerate(vectors):
+        if len(v) != n0:
+            raise ValueError(
+                f"{what}: rank {j} holds a vector of {len(v)} element(s) "
+                f"but rank 0 holds {n0}; element-wise combination "
+                f"requires equal extents on every rank")
+
+
 def ref_bcast(x: np.ndarray, p: int) -> List[np.ndarray]:
     """Broadcast: x at all P_j."""
     return [x.copy() for _ in range(p)]
@@ -27,15 +81,14 @@ def ref_scatter(x: np.ndarray, p: int,
     """Scatter: x_j at P_j."""
     if sizes is None:
         sizes = partition_sizes(len(x), p)
-    offs = partition_offsets(sizes)
-    if offs[-1] != len(x):
-        raise ValueError("partition does not cover the vector")
+    offs = _check_partition(len(x), sizes)
     return [x[offs[j]:offs[j + 1]].copy() for j in range(p)]
 
 
 def ref_gather(blocks: Sequence[np.ndarray], root: int
                ) -> List[Optional[np.ndarray]]:
     """Gather: x at P_root, nothing elsewhere."""
+    _check_root(root, len(blocks))
     full = np.concatenate(list(blocks))
     return [full if j == root else None for j in range(len(blocks))]
 
@@ -49,6 +102,9 @@ def ref_collect(blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
 def ref_reduce(vectors: Sequence[np.ndarray], op="sum", root: int = 0
                ) -> List[Optional[np.ndarray]]:
     """Combine-to-one: (+) y(j) at P_root."""
+    vectors = list(vectors)
+    _check_root(root, len(vectors))
+    _check_equal_lengths(vectors, "reduce")
     op = get_op(op)
     total = op.reduce_all(vectors)
     return [total if j == root else None for j in range(len(vectors))]
@@ -57,6 +113,8 @@ def ref_reduce(vectors: Sequence[np.ndarray], op="sum", root: int = 0
 def ref_allreduce(vectors: Sequence[np.ndarray], op="sum"
                   ) -> List[np.ndarray]:
     """Combine-to-all: (+) y(j) at every P_j."""
+    vectors = list(vectors)
+    _check_equal_lengths(vectors, "allreduce")
     op = get_op(op)
     total = op.reduce_all(vectors)
     return [total.copy() for _ in range(len(vectors))]
@@ -66,10 +124,12 @@ def ref_reduce_scatter(vectors: Sequence[np.ndarray], op="sum",
                        sizes: Optional[Sequence[int]] = None
                        ) -> List[np.ndarray]:
     """Distributed combine: block j of (+) y(i) at P_j."""
+    vectors = list(vectors)
+    _check_equal_lengths(vectors, "reduce_scatter")
     op = get_op(op)
     p = len(vectors)
     total = op.reduce_all(vectors)
     if sizes is None:
         sizes = partition_sizes(len(total), p)
-    offs = partition_offsets(sizes)
+    offs = _check_partition(len(total), sizes)
     return [total[offs[j]:offs[j + 1]].copy() for j in range(p)]

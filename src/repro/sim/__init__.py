@@ -9,24 +9,28 @@ injection and one ejection port per node, and ``gamma``-cost arithmetic.
 
 from .engine import (CommHandle, DeadlockError, Engine, RankEnv,
                      SimulationLimitError, payload_nbytes)
+from .faults import (DeadLetter, FaultDiagnosis, FaultReport, FaultSchedule,
+                     LinkFault, LinkSlowdown, NodeCrash)
 from .machine import Machine, RunResult
 from .network import FluidNetwork, Flow
 from .params import (DELTA, IPSC860, PARAGON, PRESETS, UNIT, MachineParams,
                      preset)
 from .topology import (FullyConnected, Hypercube, LinearArray, Mesh2D, Ring,
                        Topology, Torus2D, route_length)
-from .trace import (MessageRecord, SpanRecord, Tracer,
+from .trace import (FaultRecord, MessageRecord, SpanRecord, Tracer,
                     chrome_trace, write_chrome_trace)
 
 __all__ = [
     "CommHandle", "DeadlockError", "Engine", "RankEnv",
     "SimulationLimitError", "payload_nbytes",
+    "DeadLetter", "FaultDiagnosis", "FaultReport", "FaultSchedule",
+    "LinkFault", "LinkSlowdown", "NodeCrash",
     "Machine", "RunResult",
     "FluidNetwork", "Flow",
     "DELTA", "IPSC860", "PARAGON", "PRESETS", "UNIT", "MachineParams",
     "preset",
     "FullyConnected", "Hypercube", "LinearArray", "Mesh2D", "Ring",
     "Topology", "Torus2D", "route_length",
-    "MessageRecord", "SpanRecord", "Tracer",
+    "FaultRecord", "MessageRecord", "SpanRecord", "Tracer",
     "chrome_trace", "write_chrome_trace",
 ]

@@ -52,6 +52,8 @@ from collections import defaultdict, deque
 
 import numpy as np
 
+from .faults import (DeadLetter, FaultDiagnosis, FaultSchedule, FaultState,
+                     LinkFault, LinkSlowdown, NodeCrash)
 from .network import FluidNetwork
 from .params import MachineParams
 from .topology import Topology
@@ -59,7 +61,14 @@ from .trace import MessageRecord, Tracer
 
 
 class DeadlockError(RuntimeError):
-    """Raised when no events remain but some rank is still blocked."""
+    """Raised when no events remain but some rank is still blocked.
+
+    The message carries a full diagnosis: which ranks block on what, the
+    wait-for cycle among them (when one exists), and each blocked rank's
+    oldest unmatched posted send/recv ``(peer, tag, nbytes)``.  When the
+    hang is attributable to injected faults the engine raises the typed
+    :class:`~repro.sim.faults.FaultDiagnosis` subclass-by-role instead.
+    """
 
 
 class SimulationLimitError(RuntimeError):
@@ -114,7 +123,7 @@ class CommHandle:
     """Completion handle for a posted (nonblocking) send or receive."""
 
     __slots__ = ("kind", "peer", "tag", "data", "nbytes", "done",
-                 "_waiters", "record", "posted_at", "partner")
+                 "_waiters", "record", "posted_at", "partner", "retries")
 
     def __init__(self, kind: str, peer: int, tag: int,
                  data: Any = None, nbytes: float = 0.0,
@@ -128,6 +137,7 @@ class CommHandle:
         self._waiters: Optional[List["_WaitGroup"]] = None
         self.record: Optional[MessageRecord] = None
         self.posted_at = posted_at
+        self.retries = 0          # retransmissions after link faults
 
     def _complete(self, engine: "Engine") -> None:
         self.done = True
@@ -183,7 +193,7 @@ class _WaitGroup(_Request):
 # ----------------------------------------------------------------------
 
 class _Process:
-    __slots__ = ("rank", "gen", "done", "result", "blocked_on")
+    __slots__ = ("rank", "gen", "done", "result", "blocked_on", "crashed")
 
     def __init__(self, rank: int, gen: Generator):
         self.rank = rank
@@ -191,6 +201,7 @@ class _Process:
         self.done = False
         self.result: Any = None
         self.blocked_on: Any = None
+        self.crashed = False      # fail-stop: generator never resumes
 
 
 class RankEnv:
@@ -225,6 +236,11 @@ class RankEnv:
     @property
     def now(self) -> float:
         return self.engine.now
+
+    def alive(self, node: int) -> bool:
+        """False once ``node`` has crashed (perfect failure detector)."""
+        fs = self.engine._faults
+        return fs is None or node not in fs.dead
 
     # --- nonblocking ----------------------------------------------------
 
@@ -301,11 +317,14 @@ class Engine:
     def __init__(self, topology: Topology, params: MachineParams,
                  tracer: Optional[Tracer] = None,
                  max_events: int = 200_000_000,
-                 metrics=None):
+                 metrics=None,
+                 faults: Optional[FaultSchedule] = None):
         self.topology = topology
         self.params = params
         self.tracer = tracer
         self.now = 0.0
+        #: event-count safety limit; read per-iteration by :meth:`run`,
+        #: so it can be adjusted mid-run through CollContext.max_events
         self.max_events = max_events
         self._heap: List[Tuple] = []
         self._seq = itertools.count()
@@ -313,13 +332,24 @@ class Engine:
         self._alpha = params.alpha
         self._nnodes = topology.nnodes
         self._procs: List[_Process] = []
-        self._ndone = 0
+        #: terminated = finished normally OR crashed (fail-stop)
+        self._nterm = 0
         self._last_done_time = 0.0
+        #: runtime fault state, None on a fault-free run
+        self._faults: Optional[FaultState] = None
+        self._deadline = math.inf
+        self._retry_backoff = 0.0
+        if faults is not None and not faults.is_empty:
+            self._faults = FaultState(faults)
+            self._deadline = faults.deadline
+            self._retry_backoff = faults.backoff or 4.0 * params.alpha
         self.network = FluidNetwork(
             topology, params, self.schedule,
             schedule_completion=self._schedule_completion,
             complete=self._flow_done,
-            metrics=metrics)
+            metrics=metrics, faults=self._faults)
+        if self._faults is not None:
+            self._install_faults(self._faults.schedule)
         # (dst, src, tag) -> deque of unmatched sends / recvs
         self._pending_sends: Dict[Tuple[int, int, int], Deque] = \
             defaultdict(deque)
@@ -342,6 +372,117 @@ class Engine:
                  (max(t, self.now), self._seqn(), _EV_COMPLETION,
                   flow, epoch))
 
+    # --- fault injection (docs/robustness.md) -----------------------------
+
+    def _install_faults(self, schedule: FaultSchedule) -> None:
+        """Schedule every declared fault event on the simulation clock."""
+        for ev in schedule.events:
+            if isinstance(ev, LinkFault):
+                self.schedule(ev.t, lambda ev=ev: self._fire_link_fault(ev))
+                if not math.isinf(ev.duration):
+                    self.schedule(ev.t + ev.duration,
+                                  lambda ev=ev: self._fire_link_restore(ev))
+            elif isinstance(ev, LinkSlowdown):
+                self.schedule(ev.t,
+                              lambda ev=ev: self._fire_link_slowdown(ev))
+                if not math.isinf(ev.duration):
+                    self.schedule(
+                        ev.t + ev.duration,
+                        lambda ev=ev: self._fire_slowdown_restore(ev))
+            elif isinstance(ev, NodeCrash):
+                self.schedule(ev.t, lambda ev=ev: self._fire_node_crash(ev))
+
+    def _log_fault(self, kind: str, detail: str) -> None:
+        self._faults.log(self.now, kind, detail)
+        if self.tracer is not None:
+            self.tracer.fault(self.now, kind, detail)
+
+    def _fire_link_fault(self, ev: LinkFault) -> None:
+        fs = self._faults
+        chans = ev.channels()
+        fs.failed.update(chans)
+        self._log_fault("link-fault", ev.describe())
+        self.network.fault_routes_changed()
+        # in-flight transfers crossing the link are lost mid-worm
+        for flow in self.network.abort_flows_crossing(chans, self.now):
+            self._retry_or_drop(flow.on_complete,
+                                "link failed mid-transfer")
+
+    def _fire_link_restore(self, ev: LinkFault) -> None:
+        fs = self._faults
+        for ch in ev.channels():
+            fs.failed.discard(ch)
+        self._log_fault("link-restore",
+                        f"link {ev.u}<->{ev.v} restored at t={self.now:g}")
+        self.network.fault_routes_changed()
+
+    def _fire_link_slowdown(self, ev: LinkSlowdown) -> None:
+        fs = self._faults
+        for (u, v) in ev.channels():
+            fs.slow[(u, v)] = ev.factor
+            self.network.apply_slowdown(u, v, ev.factor, self.now)
+        self._log_fault("link-slowdown", ev.describe())
+
+    def _fire_slowdown_restore(self, ev: LinkSlowdown) -> None:
+        fs = self._faults
+        for (u, v) in ev.channels():
+            fs.slow.pop((u, v), None)
+            self.network.apply_slowdown(u, v, None, self.now)
+        self._log_fault(
+            "slowdown-restore",
+            f"link {ev.u}<->{ev.v} back to full bandwidth at t={self.now:g}")
+
+    def _fire_node_crash(self, ev: NodeCrash) -> None:
+        fs = self._faults
+        node = ev.node
+        if node in fs.dead:
+            return
+        fs.dead.add(node)
+        self._log_fault("node-crash", ev.describe())
+        for p in self._procs:
+            if p.rank == node and not p.done and not p.crashed:
+                p.crashed = True
+                self._nterm += 1
+        # every in-flight transfer to or from the node is lost; the
+        # surviving side's handle stays pending and gets diagnosed
+        for flow in self.network.abort_flows_of_node(node, self.now):
+            self._dead_letter(flow.on_complete,
+                              f"node {node} crashed mid-transfer")
+
+    def _retry_or_drop(self, sh: CommHandle, reason: str) -> None:
+        """Message-layer recovery for a transfer killed by a link fault:
+        retransmit with exponential backoff, or dead-letter the message
+        once the peer is dead / retries are exhausted."""
+        fs = self._faults
+        rh = sh.partner
+        if sh.peer in fs.dead or rh.peer in fs.dead:
+            self._dead_letter(sh, reason + "; peer crashed")
+            return
+        if sh.retries >= fs.max_retries:
+            self._dead_letter(
+                sh, f"gave up after {sh.retries} retries: {reason}")
+            return
+        attempt = sh.retries
+        sh.retries += 1
+        fs.retries += 1
+        backoff = self._retry_backoff * (1 << attempt)
+        heappush(self._heap,
+                 (self.now + backoff, self._seqn(), _EV_BEGIN, sh, rh))
+
+    def _dead_letter(self, sh: CommHandle, reason: str) -> None:
+        """Give up on a matched transfer: the message is lost for good.
+
+        The handles are *not* completed — ranks waiting on them block,
+        and the end-of-run / watchdog diagnosis names this dead letter
+        as the cause."""
+        fs = self._faults
+        rh = sh.partner
+        dl = DeadLetter(t=self.now, src=rh.peer, dst=sh.peer, tag=sh.tag,
+                        nbytes=sh.nbytes, reason=reason)
+        fs.dead_letters.append(dl)
+        if self.tracer is not None:
+            self.tracer.fault(self.now, "dead-letter", dl.describe())
+
     # --- processes --------------------------------------------------------
 
     def spawn(self, rank: int, gen: Generator) -> _Process:
@@ -356,7 +497,7 @@ class Engine:
                  (self.now, self._seqn(), _EV_ADVANCE, proc, value))
 
     def _advance(self, proc: _Process, value: Any) -> None:
-        if proc.done:
+        if proc.done or proc.crashed:
             return
         proc.blocked_on = None
         try:
@@ -364,7 +505,7 @@ class Engine:
         except StopIteration as stop:
             proc.done = True
             proc.result = stop.value
-            self._ndone += 1
+            self._nterm += 1
             if self.now > self._last_done_time:
                 self._last_done_time = self.now
             return
@@ -445,8 +586,14 @@ class Engine:
             # paper's algorithms never self-send; baselines may).
             self.schedule(now, lambda: self._flow_done(sh, self.now))
             return
+        t = now + self._alpha
+        fs = self._faults
+        if fs is not None and fs.jitter > 0.0:
+            # Seeded per-rendezvous startup jitter, drawn in event order
+            # so a (seed, schedule) pair replays bit-identically.
+            t += fs.rng.uniform(0.0, fs.jitter)
         heappush(self._heap,
-                 (now + self._alpha, self._seqn(), _EV_BEGIN, sh, rh))
+                 (t, self._seqn(), _EV_BEGIN, sh, rh))
 
     def _flow_done(self, sh: CommHandle, when: float) -> None:
         """Last byte delivered (or zero-byte rendezvous closed)."""
@@ -468,7 +615,7 @@ class Engine:
         heap = self._heap
         network = self.network
         pop = heappop
-        max_events = self.max_events
+        deadline = self._deadline
         nprocs = len(self._procs)
         advance = self._advance
         flow_done = self._flow_done
@@ -477,14 +624,21 @@ class Engine:
         events = 0
         while heap:
             events += 1
-            if events > max_events:
+            # self.max_events is read each iteration (not hoisted) so a
+            # rank program can lower it mid-run via CollContext.
+            if events > self.max_events:
                 self.events_processed = events
                 raise SimulationLimitError(
                     f"exceeded {self.max_events} events at t={self.now}")
-            if self._ndone == nprocs:
+            if self._nterm == nprocs:
                 break  # remaining events can only be stale completions
             ev = pop(heap)
             self.now = t = ev[0]
+            if t > deadline:
+                # Simulated-time watchdog: convert the would-be hang
+                # into a diagnosis instead of simulating on.
+                self.events_processed = events
+                raise self._hang_error(watchdog=True)
             kind = ev[2]
             if kind == _EV_ADVANCE:
                 advance(ev[3], ev[4])
@@ -493,21 +647,138 @@ class Engine:
                 if sh.nbytes <= 0:
                     flow_done(sh, t)
                 else:
-                    start_flow(ev[4].peer, sh.peer, sh.nbytes, t, sh)
+                    flow = start_flow(ev[4].peer, sh.peer, sh.nbytes, t, sh)
+                    if flow is None:
+                        # failed links disconnect the pair right now;
+                        # back off and retransmit (transient faults heal)
+                        self._retry_or_drop(sh, "no surviving route")
             elif kind == _EV_COMPLETION:
                 fire_completion(ev[3], ev[4], t)
             else:
                 ev[3]()
         self.events_processed = events
-        if self._ndone != nprocs:
-            blocked = [(p.rank, p.blocked_on) for p in self._procs
-                       if not p.done]
-            detail = "; ".join(
-                f"rank {r} blocked on {self._describe(b)}"
-                for r, b in blocked[:16])
-            raise DeadlockError(
-                f"{len(blocked)} rank(s) never finished: {detail}")
+        if self._nterm != nprocs:
+            raise self._hang_error()
         return self._last_done_time
+
+    # --- hang diagnosis ---------------------------------------------------
+
+    def _hang_error(self, watchdog: bool = False) -> RuntimeError:
+        """Build the deadlock/fault diagnosis for a run that cannot finish.
+
+        Returns :class:`~repro.sim.faults.FaultDiagnosis` when the fault
+        layer injected anything (the hang is attributable), else a
+        :class:`DeadlockError` (a genuine program bug).
+        """
+        blocked = [(p.rank, p.blocked_on) for p in self._procs
+                   if not p.done and not p.crashed]
+        detail = "; ".join(
+            f"rank {r} blocked on {self._describe(b)}"
+            for r, b in blocked[:16])
+        fs = self._faults
+        crashed = sorted(fs.dead) if fs is not None else []
+        lines = [f"{len(blocked)} rank(s) never finished: {detail}"]
+        if watchdog:
+            lines[0] = (f"watchdog: simulated time passed the deadline "
+                        f"t={self._deadline:g} with " + lines[0])
+
+        # Wait-for graph over blocked ranks: r -> peers of its incomplete
+        # handles.  A cycle is the classic rendezvous deadlock signature.
+        edges: Dict[int, List[int]] = {}
+        for r, b in blocked:
+            peers = set()
+            if isinstance(b, _WaitGroup):
+                for h in b.handles:
+                    if not h.done:
+                        peers.add(h.peer)
+            edges[r] = sorted(peers)
+        cycle = self._find_cycle(edges)
+        if cycle is not None:
+            lines.append("wait-for cycle: " +
+                         " -> ".join(str(r) for r in cycle))
+
+        # Each blocked rank's oldest unmatched *posted* request: the
+        # queues know which side arrived and who never showed up.
+        oldest: Dict[int, Tuple] = {}
+        for (dst, src, tag), q in self._pending_sends.items():
+            for h in q:
+                cur = oldest.get(src)
+                if cur is None or h.posted_at < cur[0]:
+                    oldest[src] = (h.posted_at, "send", dst, tag, h.nbytes)
+        for (dst, src, tag), q in self._pending_recvs.items():
+            for h in q:
+                cur = oldest.get(dst)
+                if cur is None or h.posted_at < cur[0]:
+                    oldest[dst] = (h.posted_at, "recv", src, tag, h.nbytes)
+        blocked_detail = []
+        for r, _ in blocked:
+            if r not in oldest:
+                blocked_detail.append((r, "-", -1, -1, 0.0))
+                continue
+            posted_at, kind, peer, tag, nbytes = oldest[r]
+            blocked_detail.append((r, kind, peer, tag, nbytes))
+            dead_note = " (crashed)" if peer in crashed else ""
+            lines.append(
+                f"rank {r}: oldest unmatched {kind} "
+                f"(peer={peer}{dead_note}, tag={tag}, {nbytes:g}B) "
+                f"posted at t={posted_at:g}")
+
+        op_spans: Dict[int, str] = {}
+        if self.tracer is not None:
+            # A hung rank's op span never closed, so op_spans() (which
+            # returns only closed spans) misses it — scan the raw list.
+            for s in self.tracer.spans:
+                if s.phase == "op" and not s.closed and s.rank in edges:
+                    op_spans[s.rank] = s.label
+            for r in sorted(op_spans):
+                lines.append(f"rank {r}: inside op span "
+                             f"'{op_spans[r]}'")
+
+        if fs is None or not fs.injected:
+            return DeadlockError("\n".join(lines))
+
+        for t, kind, desc in fs.injected:
+            lines.append(f"injected fault: {desc}")
+        for dl in fs.dead_letters:
+            lines.append(f"dead letter: {dl.describe()}")
+        return FaultDiagnosis(
+            "\n".join(lines),
+            injected=fs.injected,
+            blocked=blocked_detail,
+            dead_letters=fs.dead_letters,
+            crashed=crashed,
+            op_spans=op_spans,
+            watchdog=watchdog)
+
+    @staticmethod
+    def _find_cycle(edges: Dict[int, List[int]]) -> Optional[List[int]]:
+        """First wait-for cycle by deterministic DFS, as ``[r0, ..., r0]``,
+        or None.  Edges to non-blocked ranks are ignored."""
+        visited: set = set()
+        for start in sorted(edges):
+            if start in visited:
+                continue
+            onpath = {start: 0}
+            path = [start]
+            stack = [iter(edges[start])]
+            while stack:
+                advanced = False
+                for nxt in stack[-1]:
+                    if nxt not in edges or nxt in visited:
+                        continue
+                    if nxt in onpath:
+                        return path[onpath[nxt]:] + [nxt]
+                    onpath[nxt] = len(path)
+                    path.append(nxt)
+                    stack.append(iter(edges[nxt]))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    node = path.pop()
+                    visited.add(node)
+                    del onpath[node]
+        return None
 
     @staticmethod
     def _describe(req: Any) -> str:
@@ -518,3 +789,8 @@ class Engine:
 
     def results(self) -> List[Any]:
         return [p.result for p in sorted(self._procs, key=lambda p: p.rank)]
+
+    def fault_report(self):
+        """Post-run :class:`~repro.sim.faults.FaultReport`, or None when
+        no fault schedule was installed."""
+        return self._faults.report() if self._faults is not None else None

@@ -1,0 +1,409 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper's machine model (section 2) assumes a pristine wormhole mesh;
+this module is the controlled way to break that assumption.  A
+:class:`FaultSchedule` declares, in *simulated* time, a set of fault
+events —
+
+* :class:`LinkFault` — a (bidirectional by default) mesh link stops
+  carrying data, permanently or for a bounded ``duration``;
+* :class:`LinkSlowdown` — a link's bandwidth degrades by ``factor``
+  (per-link beta multiplier), permanently or transiently;
+* :class:`NodeCrash` — a node dies: its rank program stops executing and
+  every in-flight message to or from it is lost
+
+— plus whole-run knobs: ``jitter`` (seeded per-message extra startup
+latency), ``max_retries``/``backoff`` (message-layer retransmission of
+transfers killed by a link fault), and ``deadline`` (a simulated-time
+watchdog).  Given the same ``(seed, schedule)`` a chaos run is
+bit-reproducible: the only randomness is the schedule's own
+:class:`random.Random` stream, consumed in deterministic event order.
+
+When a fault prevents completion, the engine raises a typed
+:class:`FaultDiagnosis` instead of a bare
+:class:`~repro.sim.engine.DeadlockError`: it names the injected faults,
+the crashed nodes, every blocked rank's oldest unmatched posted
+send/recv ``(peer, tag, nbytes)``, dead-lettered messages, and — when
+tracing is on — the collective op span each blocked rank was inside.
+
+An *empty* schedule is strictly passive: no events are scheduled, no
+random numbers are drawn, and every simulated result is bit-identical
+to a run without the fault layer (enforced by the golden-equivalence
+corpus; see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+Channel = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# fault events
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Link ``u <-> v`` carries no data from ``t`` for ``duration``.
+
+    ``duration=inf`` (default) is a permanent failure; a finite duration
+    models a transient fault (flaky cable, rerouted backplane) after
+    which the link is restored.  ``symmetric=False`` fails only the
+    directed channel ``(u, v)``.
+    """
+
+    t: float
+    u: int
+    v: int
+    duration: float = math.inf
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, self.duration)
+
+    def channels(self) -> Tuple[Channel, ...]:
+        if self.symmetric:
+            return ((self.u, self.v), (self.v, self.u))
+        return ((self.u, self.v),)
+
+    def describe(self) -> str:
+        kind = "permanently" if math.isinf(self.duration) else \
+            f"for {self.duration:g}s"
+        arrow = "<->" if self.symmetric else "->"
+        return f"link {self.u}{arrow}{self.v} failed at t={self.t:g} {kind}"
+
+
+@dataclass(frozen=True)
+class LinkSlowdown:
+    """Link ``u <-> v`` bandwidth divided by ``factor`` (beta degradation)
+    from ``t`` for ``duration``."""
+
+    t: float
+    u: int
+    v: int
+    factor: float = 2.0
+    duration: float = math.inf
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, self.duration)
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be >= 1 (got {self.factor}); a "
+                f"factor below 1 would speed the link up")
+
+    def channels(self) -> Tuple[Channel, ...]:
+        if self.symmetric:
+            return ((self.u, self.v), (self.v, self.u))
+        return ((self.u, self.v),)
+
+    def describe(self) -> str:
+        kind = "" if math.isinf(self.duration) else \
+            f" for {self.duration:g}s"
+        return (f"link {self.u}<->{self.v} slowed {self.factor:g}x "
+                f"at t={self.t:g}{kind}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` dies at ``t``: its rank program stops executing and
+    all in-flight messages to or from it are lost (fail-stop model)."""
+
+    t: float
+    node: int
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, math.inf)
+
+    def describe(self) -> str:
+        return f"node {self.node} crashed at t={self.t:g}"
+
+
+FaultEvent = Union[LinkFault, LinkSlowdown, NodeCrash]
+
+_EVENT_KINDS = {
+    "link-fault": LinkFault,
+    "link-slowdown": LinkSlowdown,
+    "node-crash": NodeCrash,
+}
+
+
+def _check_time(t: float, duration: float) -> None:
+    if t < 0:
+        raise ValueError(f"fault time must be non-negative (got {t})")
+    if duration <= 0:
+        raise ValueError(f"fault duration must be positive (got {duration})")
+
+
+def _event_kind(ev: FaultEvent) -> str:
+    for kind, cls in _EVENT_KINDS.items():
+        if isinstance(ev, cls):
+            return kind
+    raise TypeError(f"unknown fault event {ev!r}")
+
+
+# ----------------------------------------------------------------------
+# the schedule
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic, seeded chaos scenario.
+
+    Attributes
+    ----------
+    events:
+        Fault events applied at their simulated times.
+    jitter:
+        Maximum extra per-message startup latency in seconds, sampled
+        uniformly from ``[0, jitter)`` per rendezvous from the seeded
+        stream.  ``0.0`` (default) draws nothing.
+    seed:
+        Seed of the schedule's private random stream (jitter samples).
+    max_retries:
+        How many times the message layer retransmits a transfer killed
+        by a link fault before dead-lettering it.
+    backoff:
+        Base retransmission backoff in seconds (doubled per attempt).
+        ``0.0`` means "4 x alpha of the machine being simulated".
+    deadline:
+        Simulated-time watchdog: if the run passes this time with ranks
+        still unfinished, the engine raises a :class:`FaultDiagnosis`
+        instead of simulating on.  ``inf`` (default) disables it.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    jitter: float = 0.0
+    seed: int = 0
+    max_retries: int = 8
+    backoff: float = 0.0
+    deadline: float = math.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        for ev in self.events:
+            _event_kind(ev)  # raises for foreign objects
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule injects nothing at all."""
+        return (not self.events and self.jitter == 0.0
+                and math.isinf(self.deadline))
+
+    def crashed_nodes(self) -> FrozenSet[int]:
+        """Every node the schedule crashes, at any time.
+
+        This is the *perfect failure detector* view used by
+        :meth:`repro.core.communicator.Communicator.shrink`: it is
+        independent of the query time, so every surviving rank computes
+        the same surviving group no matter when it asks.
+        """
+        return frozenset(ev.node for ev in self.events
+                         if isinstance(ev, NodeCrash))
+
+    def pricing_beta_multiplier(self) -> float:
+        """Effective beta multiplier the cost model should price with.
+
+        The maximum declared :class:`LinkSlowdown` factor (1.0 when the
+        schedule degrades nothing).  Deliberately derived from the
+        *schedule*, not from the current simulated time: strategy
+        selection must be rank-agreed, and different ranks resolve the
+        same collective at different instants.  A real deployment would
+        feed this from a link-quality monitor; see docs/robustness.md.
+        """
+        mult = 1.0
+        for ev in self.events:
+            if isinstance(ev, LinkSlowdown) and ev.factor > mult:
+                mult = ev.factor
+        return mult
+
+    def describe(self) -> str:
+        parts = [ev.describe() for ev in self.events]
+        if self.jitter > 0:
+            parts.append(f"jitter up to {self.jitter:g}s "
+                         f"(seed {self.seed})")
+        if not math.isinf(self.deadline):
+            parts.append(f"watchdog deadline t={self.deadline:g}")
+        return "; ".join(parts) if parts else "empty schedule"
+
+    # -- serialization (chaos harness reports) --------------------------
+
+    def to_dict(self) -> Dict:
+        events = []
+        for ev in self.events:
+            d = {"kind": _event_kind(ev)}
+            for f in ev.__dataclass_fields__:
+                v = getattr(ev, f)
+                d[f] = "inf" if isinstance(v, float) and math.isinf(v) else v
+            events.append(d)
+        return {
+            "events": events,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "deadline": ("inf" if math.isinf(self.deadline)
+                         else self.deadline),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultSchedule":
+        events = []
+        for e in d.get("events", ()):
+            e = dict(e)
+            cls_ = _EVENT_KINDS[e.pop("kind")]
+            for k, v in e.items():
+                if v == "inf":
+                    e[k] = math.inf
+            events.append(cls_(**e))
+        deadline = d.get("deadline", math.inf)
+        if deadline == "inf":
+            deadline = math.inf
+        return cls(events=tuple(events),
+                   jitter=d.get("jitter", 0.0),
+                   seed=d.get("seed", 0),
+                   max_retries=d.get("max_retries", 8),
+                   backoff=d.get("backoff", 0.0),
+                   deadline=deadline)
+
+
+# ----------------------------------------------------------------------
+# runtime state (owned by the engine)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A message the fault layer gave up on delivering."""
+
+    t: float
+    src: int
+    dst: int
+    tag: int
+    nbytes: float
+    reason: str
+
+    def describe(self) -> str:
+        return (f"{self.src}->{self.dst} tag={self.tag} "
+                f"{self.nbytes:g}B at t={self.t:g}: {self.reason}")
+
+
+class FaultState:
+    """Mutable runtime fault state threaded through engine and network.
+
+    The engine owns one of these per run (or ``None`` when no schedule
+    was given).  The network consults :attr:`failed` / :attr:`slow` when
+    routing and sizing channel capacities; the engine consults
+    :attr:`dead` when matching and retrying messages.
+    """
+
+    __slots__ = ("schedule", "failed", "slow", "dead", "rng", "injected",
+                 "retries", "dead_letters", "jitter", "max_retries")
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        #: directed channels currently carrying nothing
+        self.failed: set = set()
+        #: directed channel -> current bandwidth-division factor
+        self.slow: Dict[Channel, float] = {}
+        #: nodes that have crashed (fired, not merely scheduled)
+        self.dead: set = set()
+        self.rng = random.Random(schedule.seed)
+        #: log of (t, kind, description) for every fault that fired
+        self.injected: List[Tuple[float, str, str]] = []
+        self.retries = 0
+        self.dead_letters: List[DeadLetter] = []
+        self.jitter = schedule.jitter
+        self.max_retries = schedule.max_retries
+
+    @property
+    def anything_injected(self) -> bool:
+        return bool(self.injected)
+
+    def log(self, t: float, kind: str, detail: str) -> None:
+        self.injected.append((t, kind, detail))
+
+    def report(self) -> "FaultReport":
+        return FaultReport(
+            schedule=self.schedule.describe(),
+            injected=tuple(self.injected),
+            retries=self.retries,
+            dead_letters=tuple(self.dead_letters),
+            crashed=tuple(sorted(self.dead)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Post-run summary of what the fault layer did (RunResult.fault_report)."""
+
+    schedule: str
+    injected: Tuple[Tuple[float, str, str], ...]
+    retries: int
+    dead_letters: Tuple[DeadLetter, ...]
+    crashed: Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# the typed diagnosis
+# ----------------------------------------------------------------------
+
+class FaultDiagnosis(RuntimeError):
+    """A would-be hang (or watchdog overrun) attributed to injected faults.
+
+    Raised by the engine instead of a bare ``DeadlockError`` whenever the
+    run cannot finish *and* the fault layer injected something.  Carries
+    structured fields so harnesses can assert on causes instead of
+    grepping messages:
+
+    ``injected``
+        ``(t, kind, description)`` for every fault that fired;
+    ``blocked``
+        per blocked rank: ``(rank, kind, peer, tag, nbytes)`` of its
+        oldest unmatched posted request (kind ``"send"``/``"recv"``, or
+        ``"-"`` when the rank blocks on something already matched);
+    ``dead_letters``
+        messages the retry layer gave up on;
+    ``crashed``
+        nodes dead at diagnosis time;
+    ``op_spans``
+        ``rank -> label`` of the collective op span each blocked rank
+        was inside (empty when tracing was off).
+    """
+
+    def __init__(self, message: str, *,
+                 injected: Sequence[Tuple[float, str, str]] = (),
+                 blocked: Sequence[Tuple] = (),
+                 dead_letters: Sequence[DeadLetter] = (),
+                 crashed: Sequence[int] = (),
+                 op_spans: Optional[Dict[int, str]] = None,
+                 watchdog: bool = False):
+        super().__init__(message)
+        self.injected = tuple(injected)
+        self.blocked = tuple(blocked)
+        self.dead_letters = tuple(dead_letters)
+        self.crashed = tuple(crashed)
+        self.op_spans = dict(op_spans or {})
+        self.watchdog = watchdog
+
+    def to_dict(self) -> Dict:
+        return {
+            "message": str(self),
+            "injected": [list(x) for x in self.injected],
+            "blocked": [list(x) for x in self.blocked],
+            "dead_letters": [dl.describe() for dl in self.dead_letters],
+            "crashed": list(self.crashed),
+            "op_spans": {str(k): v for k, v in self.op_spans.items()},
+            "watchdog": self.watchdog,
+        }

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import ChannelStats, ResourceMetrics
 from .engine import Engine, RankEnv
+from .faults import FaultReport, FaultSchedule
 from .params import MachineParams, UNIT
 from .topology import Topology
 from .trace import Tracer
@@ -50,6 +51,10 @@ class RunResult:
     params: Optional[MachineParams] = \
         field(default=None, repr=False, compare=False)
     _audit_cache: Optional[object] = \
+        field(default=None, repr=False, compare=False)
+    #: what the fault layer injected (docs/robustness.md); None when the
+    #: run had no fault schedule
+    fault_report: Optional[FaultReport] = \
         field(default=None, repr=False, compare=False)
 
     @property
@@ -111,16 +116,26 @@ class Machine:
         When true, every run accounts per-channel/per-port utilization
         and contention, exposed as ``RunResult.channel_metrics``.
         Strictly passive: simulated results are unchanged.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSchedule` applied to
+        every run (overridable per run).  An empty schedule is strictly
+        passive — results stay bit-identical to a fault-free machine.
+    max_events:
+        Override the engine's event-count safety limit for every run.
     """
 
     def __init__(self, topology: Topology,
                  params: MachineParams = UNIT,
                  trace: bool = False,
-                 metrics: bool = False):
+                 metrics: bool = False,
+                 faults: Optional[FaultSchedule] = None,
+                 max_events: Optional[int] = None):
         self.topology = topology
         self.params = params
         self.trace = trace
         self.metrics = metrics
+        self.faults = faults
+        self.max_events = max_events
 
     @property
     def nnodes(self) -> int:
@@ -130,21 +145,29 @@ class Machine:
             ranks: Optional[Sequence[int]] = None,
             trace: Optional[bool] = None,
             metrics: Optional[bool] = None,
+            faults: Optional[FaultSchedule] = None,
+            max_events: Optional[int] = None,
             **kwargs: Any) -> RunResult:
         """Execute ``program(env, *args, **kwargs)`` on every rank.
 
         ``program`` must be a generator function (an SPMD rank program).
         ``ranks`` restricts execution to a subset of nodes (the others
         stay idle); per-rank return values for idle nodes are ``None``.
-        ``trace`` / ``metrics`` override the machine-level flags for
-        this run only.
+        ``trace`` / ``metrics`` / ``faults`` / ``max_events`` override
+        the machine-level settings for this run only.
         """
         do_trace = self.trace if trace is None else trace
         do_metrics = self.metrics if metrics is None else metrics
+        do_faults = self.faults if faults is None else faults
+        do_max = self.max_events if max_events is None else max_events
         tracer = Tracer() if do_trace else None
         collector = ResourceMetrics() if do_metrics else None
+        engine_kwargs = {}
+        if do_max is not None:
+            engine_kwargs["max_events"] = do_max
         engine = Engine(self.topology, self.params, tracer=tracer,
-                        metrics=collector)
+                        metrics=collector, faults=do_faults,
+                        **engine_kwargs)
         active = range(self.nnodes) if ranks is None else ranks
         active = sorted(set(active))
         for r in active:
@@ -172,4 +195,5 @@ class Machine:
             metrics_source=(collector, engine.network._res_list)
             if collector is not None else None,
             params=self.params,
+            fault_report=engine.fault_report(),
         )

@@ -74,6 +74,9 @@ _EPS_BYTES = 1e-9
 
 _INF = math.inf
 
+#: degraded-route cache sentinel: the pair is disconnected
+_NO_ROUTE = ()
+
 
 class Flow:
     """One in-flight message moving through the fluid network.
@@ -154,9 +157,16 @@ class FluidNetwork:
                  schedule_completion: Optional[
                      Callable[[float, Flow, int], None]] = None,
                  complete: Optional[Callable[[object, float], None]] = None,
-                 metrics=None):
+                 metrics=None, faults=None):
         self.topology = topology
         self.params = params
+        #: runtime fault state (:class:`repro.sim.faults.FaultState`) or
+        #: None; with no injected link faults every code path below is
+        #: byte-identical to a fault-free network
+        self._faults = faults
+        #: (src, dst) -> interned degraded route, valid for the current
+        #: failed-link set; flushed by :meth:`fault_routes_changed`
+        self._degraded_routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         #: optional passive per-resource accounting
         #: (:class:`repro.obs.metrics.ResourceMetrics`); never affects
         #: simulated results — see docs/observability.md
@@ -202,7 +212,7 @@ class FluidNetwork:
     # ------------------------------------------------------------------
 
     def start_flow(self, src: int, dst: int, nbytes: float, now: float,
-                   on_complete) -> Flow:
+                   on_complete) -> Optional[Flow]:
         """Begin streaming ``nbytes`` from src to dst at time ``now``.
 
         ``on_complete`` is an opaque completion token: when the last
@@ -212,6 +222,10 @@ class FluidNetwork:
         callable and is invoked as ``token(t)``.  The ``alpha`` latency
         is *not* charged here — the engine charges it before starting
         the flow, matching the paper's ``alpha + n*beta`` decomposition.
+
+        When injected link faults leave src and dst disconnected the
+        flow cannot start: returns ``None`` and the engine's retry layer
+        takes over (docs/robustness.md).
         """
         if src == dst:
             raise ValueError("self-sends never enter the network")
@@ -222,9 +236,15 @@ class FluidNetwork:
             return Flow(self._fidn(), src, dst, (), 0.0,
                         on_complete, now)
 
-        route = self._route_cache.get((src, dst))
-        if route is None:
-            route = self._intern_route(src, dst)
+        fs = self._faults
+        if fs is not None and fs.failed:
+            route = self._degraded_route(src, dst, fs)
+            if route is None:
+                return None
+        else:
+            route = self._route_cache.get((src, dst))
+            if route is None:
+                route = self._intern_route(src, dst)
         flow = Flow(self._fidn(), src, dst, route, nbytes,
                     on_complete, now)
         self._active[flow] = None
@@ -250,13 +270,15 @@ class FluidNetwork:
     # ------------------------------------------------------------------
 
     def _intern_route(self, src: int, dst: int) -> Tuple[int, ...]:
-        chans = self.topology.route(src, dst)
+        route = self._intern_path(src, dst, self.topology.route(src, dst))
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _intern_path(self, src: int, dst: int, chans) -> Tuple[int, ...]:
         res: List[Resource] = [("inj", src)]
         res.extend(("ch",) + ch for ch in chans)
         res.append(("ej", dst))
-        route = tuple(self._intern(r) for r in res)
-        self._route_cache[(src, dst)] = route
-        return route
+        return tuple(self._intern(r) for r in res)
 
     def _intern(self, r: Resource) -> int:
         rid = self._res_index.get(r)
@@ -264,13 +286,91 @@ class FluidNetwork:
             rid = len(self._res_list)
             self._res_index[r] = rid
             self._res_list.append(r)
-            self._res_cap.append(
-                self._port_cap if r[0] in ("inj", "ej") else self._chan_cap)
+            if r[0] in ("inj", "ej"):
+                cap = self._port_cap
+            else:
+                cap = self._chan_cap
+                # A channel first used while a slowdown is in force must
+                # be born degraded; apply_slowdown only touches channels
+                # that were already interned.
+                fs = self._faults
+                if fs is not None and fs.slow:
+                    factor = fs.slow.get((r[1], r[2]))
+                    if factor:
+                        cap = self._chan_cap / factor
+            self._res_cap.append(cap)
             self._res_flows.append({})
             self._bfs_rstamp.append(0)
             self._wf_rstamp.append(0)
             self._wf_rpos.append(0)
         return rid
+
+    # ------------------------------------------------------------------
+    # fault hooks (driven by the engine; see docs/robustness.md)
+    # ------------------------------------------------------------------
+
+    def _degraded_route(self, src: int, dst: int, fs) -> \
+            Optional[Tuple[int, ...]]:
+        """Interned route avoiding currently-failed channels, or None."""
+        route = self._degraded_routes.get((src, dst))
+        if route is None:
+            chans = self.topology.route_avoiding(src, dst, fs.failed)
+            if chans is None:
+                route = _NO_ROUTE
+            else:
+                route = self._intern_path(src, dst, chans)
+            self._degraded_routes[(src, dst)] = route
+        return None if route is _NO_ROUTE else route
+
+    def fault_routes_changed(self) -> None:
+        """Flush degraded-route cache after the failed-link set changed."""
+        self._degraded_routes.clear()
+
+    def apply_slowdown(self, u: int, v: int, factor: Optional[float],
+                       now: float) -> None:
+        """Divide channel ``(u, v)`` bandwidth by ``factor`` (None
+        restores full capacity) and rerate flows currently crossing it."""
+        rid = self._res_index.get(("ch", u, v))
+        if rid is None:
+            return  # not interned yet; _intern will pick up fs.slow
+        self._res_cap[rid] = (self._chan_cap if factor is None
+                              else self._chan_cap / factor)
+        flows = self._res_flows[rid]
+        if flows:
+            # Any flow on the channel seeds the component walk; the walk
+            # reaches everything transitively sharing a resource with it.
+            self._recompute_component(next(iter(flows)), now)
+
+    def abort_flows_crossing(self, chans, now: float) -> List[Flow]:
+        """Kill every in-flight flow whose route uses one of ``chans``
+        (a link just failed mid-transfer).  Survivors sharing resources
+        with the victims get their rates raised.  Returns the victims;
+        ``flow.on_complete`` is the engine's completion token, which the
+        retry layer uses to retransmit."""
+        victims: Dict[Flow, None] = {}
+        for ch in chans:
+            rid = self._res_index.get(("ch",) + tuple(ch))
+            if rid is None:
+                continue
+            for f in self._res_flows[rid]:
+                victims[f] = None
+        return self._abort(list(victims), now)
+
+    def abort_flows_of_node(self, node: int, now: float) -> List[Flow]:
+        """Kill every in-flight flow to or from a crashed node."""
+        victims = [f for f in self._active
+                   if f.src == node or f.dst == node]
+        return self._abort(victims, now)
+
+    def _abort(self, victims: List[Flow], now: float) -> List[Flow]:
+        for f in victims:
+            f.settle(now)
+            f.epoch += 1  # orphan any scheduled completion event
+            self._remove(f, now)
+        for f in victims:
+            # removed-seed recompute: raise the survivors' rates
+            self._recompute_component(f, now)
+        return victims
 
     def _capacity(self, r: Resource) -> float:
         return self._port_cap if r[0] in ("inj", "ej") else self._chan_cap

@@ -22,7 +22,8 @@ to ``v``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 Channel = Tuple[int, int]
 
@@ -44,6 +45,79 @@ class Topology:
     def check_node(self, node: int) -> None:
         if not 0 <= node < self.nnodes:
             raise ValueError(f"node {node} out of range [0, {self.nnodes})")
+
+    # -- degraded routing (docs/robustness.md) --------------------------
+    #
+    # When links fail, the deterministic wormhole routing function above
+    # no longer suffices: an XY route through a dead channel would hang
+    # the worm.  ``route_avoiding`` is the fallback chain the fluid
+    # network uses: the primary route, then the topology's dimension-
+    # order alternative (YX on meshes), then a deterministic BFS over
+    # the surviving channel graph.  All three are pure functions of
+    # (src, dst, failed-set), so every rank agrees on the reroute.
+
+    def alt_route(self, src: int, dst: int) -> Optional[List[Channel]]:
+        """Secondary deterministic route, or None if the topology has
+        only one routing function (e.g. linear arrays)."""
+        return None
+
+    def _adjacency(self) -> Dict[int, List[int]]:
+        """Directed adjacency lists, neighbors sorted for determinism."""
+        adj = getattr(self, "_adj_cache", None)
+        if adj is None:
+            adj = {u: [] for u in range(self.nnodes)}
+            for (u, v) in set(self.channels()):
+                adj[u].append(v)
+            for u in adj:
+                adj[u].sort()
+            self._adj_cache = adj
+        return adj
+
+    def bfs_route(self, src: int, dst: int,
+                  failed: Set[Channel]) -> Optional[List[Channel]]:
+        """Shortest surviving path by BFS, or None when disconnected.
+
+        Deterministic: neighbors are expanded in sorted order, so equal-
+        length paths always resolve the same way on every rank.
+        """
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return []
+        adj = self._adjacency()
+        prev: Dict[int, int] = {src: src}
+        queue = deque((src,))
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if v in prev or (u, v) in failed:
+                    continue
+                prev[v] = u
+                if v == dst:
+                    path: List[Channel] = []
+                    while v != src:
+                        path.append((prev[v], v))
+                        v = prev[v]
+                    path.reverse()
+                    return path
+                queue.append(v)
+        return None
+
+    def route_avoiding(self, src: int, dst: int,
+                       failed: Set[Channel]) -> Optional[List[Channel]]:
+        """Best deterministic route that uses no failed channel.
+
+        Tries the primary wormhole route, then :meth:`alt_route`
+        (dimension-order fallback), then BFS over surviving channels.
+        Returns None only when src and dst are disconnected.
+        """
+        primary = self.route(src, dst)
+        if not any(ch in failed for ch in primary):
+            return primary
+        alt = self.alt_route(src, dst)
+        if alt is not None and not any(ch in failed for ch in alt):
+            return alt
+        return self.bfs_route(src, dst, failed)
 
     def __len__(self) -> int:
         return self.nnodes
@@ -104,6 +178,19 @@ class Ring(Topology):
             return [((src + i) % p, (src + i + 1) % p) for i in range(fwd)]
         return [((src - i) % p, (src - i - 1) % p) for i in range(bwd)]
 
+    def alt_route(self, src: int, dst: int) -> Optional[List[Channel]]:
+        """The longer way around the ring."""
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return None
+        p = self.nnodes
+        fwd = (dst - src) % p
+        bwd = (src - dst) % p
+        if fwd <= bwd:  # primary went clockwise; go counter-clockwise
+            return [((src - i) % p, (src - i - 1) % p) for i in range(bwd)]
+        return [((src + i) % p, (src + i + 1) % p) for i in range(fwd)]
+
     def channels(self) -> Iterable[Channel]:
         p = self.nnodes
         for u in range(p):
@@ -160,6 +247,30 @@ class Mesh2D(Topology):
         step = 1 if dr > sr else -1
         for r in range(sr, dr, step):
             path.append((r * self.cols + dc, (r + step) * self.cols + dc))
+        return path
+
+    def alt_route(self, src: int, dst: int) -> Optional[List[Channel]]:
+        """YX routing: the other dimension order.
+
+        Disjoint from the XY route except at the endpoints whenever the
+        pair actually turns a corner, so a single failed link on the
+        primary route never blocks the alternative.
+        """
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return None
+        sr, sc = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        path: List[Channel] = []
+        # Y phase first: move along the source column.
+        step = 1 if dr > sr else -1
+        for r in range(sr, dr, step):
+            path.append((r * self.cols + sc, (r + step) * self.cols + sc))
+        # X phase: move along the destination row.
+        step = 1 if dc > sc else -1
+        for c in range(sc, dc, step):
+            path.append((dr * self.cols + c, dr * self.cols + c + step))
         return path
 
     def channels(self) -> Iterable[Channel]:
@@ -247,6 +358,25 @@ class Torus2D(Topology):
             cur_r = r
         return path
 
+    def alt_route(self, src: int, dst: int) -> Optional[List[Channel]]:
+        """Y-then-X routing: the other dimension order around the torus."""
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return None
+        sr, sc = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        path: List[Channel] = []
+        cur_r = sr
+        for r in self._ring_steps(sr, dr, self.rows):
+            path.append((self.node_at(cur_r, sc), self.node_at(r, sc)))
+            cur_r = r
+        cur_c = sc
+        for c in self._ring_steps(sc, dc, self.cols):
+            path.append((self.node_at(dr, cur_c), self.node_at(dr, c)))
+            cur_c = c
+        return path
+
     def channels(self) -> Iterable[Channel]:
         for r in range(self.rows):
             for c in range(self.cols):
@@ -293,6 +423,22 @@ class Hypercube(Topology):
         cur = src
         diff = src ^ dst
         for d in range(self.dims):
+            if diff & (1 << d):
+                nxt = cur ^ (1 << d)
+                path.append((cur, nxt))
+                cur = nxt
+        return path
+
+    def alt_route(self, src: int, dst: int) -> Optional[List[Channel]]:
+        """E-cube with the dimensions corrected highest-first."""
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return None
+        path: List[Channel] = []
+        cur = src
+        diff = src ^ dst
+        for d in reversed(range(self.dims)):
             if diff & (1 << d):
                 nxt = cur ^ (1 << d)
                 path.append((cur, nxt))

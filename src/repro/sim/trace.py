@@ -90,13 +90,27 @@ class SpanRecord:
         return not math.isnan(self.t_end)
 
 
+@dataclass
+class FaultRecord:
+    """One injected fault event (docs/robustness.md).
+
+    Fault records are observational: they do not enter the golden trace
+    serialization, so fault-free traced runs are unaffected.
+    """
+
+    t: float
+    kind: str     #: "link-fault" | "link-restore" | "link-slowdown" | ...
+    detail: str
+
+
 class Tracer:
-    """Accumulates message, span and mark records during one run."""
+    """Accumulates message, span, mark and fault records during one run."""
 
     def __init__(self) -> None:
         self.messages: List[MessageRecord] = []
         self.marks: List[Tuple[float, int, str]] = []
         self.spans: List[SpanRecord] = []
+        self.faults: List[FaultRecord] = []
         self._depth: Dict[int, int] = {}
 
     def message(self, rec: MessageRecord) -> None:
@@ -105,6 +119,10 @@ class Tracer:
     def mark(self, time: float, rank: int, label: str) -> None:
         """User-level annotation (e.g. 'stage 2: MST bcast')."""
         self.marks.append((time, rank, label))
+
+    def fault(self, time: float, kind: str, detail: str) -> None:
+        """Record an injected fault event (engine callback)."""
+        self.faults.append(FaultRecord(t=time, kind=kind, detail=detail))
 
     # ------------------------------------------------------------------
     # spans
@@ -263,6 +281,11 @@ def chrome_trace(tracer: Tracer, timescale: float = 1e6) -> Dict:
         events.append({"name": label, "cat": "mark", "ph": "i",
                        "ts": t * timescale, "pid": _PID_RANKS,
                        "tid": rank, "s": "t"})
+    for fr in tracer.faults:
+        # global instants: faults hit the machine, not one rank
+        events.append({"name": f"{fr.kind}: {fr.detail}", "cat": "fault",
+                       "ph": "i", "ts": fr.t * timescale,
+                       "pid": _PID_RANKS, "tid": 0, "s": "g"})
     for m in tracer.completed():
         events.append({
             "name": f"{m.src}->{m.dst}", "cat": "message", "ph": "X",

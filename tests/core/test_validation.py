@@ -64,3 +64,61 @@ class TestOracles:
         vecs = [np.arange(5.0)] * 2
         out = ref_reduce_scatter(vecs, "sum", sizes=[4, 1])
         assert [len(o) for o in out] == [4, 1]
+
+
+class TestDiagnosticErrors:
+    """The oracles must *name* the offending rank/index and the
+    expected-vs-actual extents — inside a 216-case conformance sweep a
+    bare "shapes mismatch" is useless (satellite d)."""
+
+    def test_undershoot_names_gap_and_last_rank(self):
+        with pytest.raises(ValueError) as exc:
+            ref_scatter(np.arange(10.0), 3, sizes=[3, 3, 2])
+        msg = str(exc.value)
+        assert "partition does not cover the vector" in msg
+        assert "end at offset 8" in msg
+        assert "10 elements" in msg
+        assert "2 element(s) after the last block (rank 2)" in msg
+
+    def test_overshoot_names_crossing_block(self):
+        with pytest.raises(ValueError) as exc:
+            ref_scatter(np.arange(5.0), 2, sizes=[3, 4])
+        msg = str(exc.value)
+        assert "block 1 (rank 1)" in msg
+        assert "spans [3, 7)" in msg
+        assert "2 element(s) past the vector end 5" in msg
+
+    def test_negative_block_named(self):
+        with pytest.raises(ValueError) as exc:
+            ref_scatter(np.arange(4.0), 3, sizes=[3, -1, 2])
+        assert "block 1 (rank 1) has negative size -1" in str(exc.value)
+
+    def test_reduce_scatter_validates_partition(self):
+        """ref_reduce_scatter previously accepted any sizes silently."""
+        with pytest.raises(ValueError, match="does not cover"):
+            ref_reduce_scatter([np.arange(6.0)] * 2, sizes=[2, 2])
+
+    def test_bad_root_named(self):
+        blocks = [np.arange(2.0)] * 3
+        with pytest.raises(ValueError) as exc:
+            ref_gather(blocks, root=3)
+        assert "root rank 3 out of range for a 3-rank group" in str(exc.value)
+        with pytest.raises(ValueError, match="root rank -1"):
+            ref_reduce([np.arange(2.0)] * 3, root=-1)
+
+    def test_mismatched_extent_names_rank(self):
+        vecs = [np.arange(4.0), np.arange(4.0), np.arange(3.0)]
+        with pytest.raises(ValueError) as exc:
+            ref_allreduce(vecs)
+        msg = str(exc.value)
+        assert msg.startswith("allreduce:")
+        assert "rank 2 holds a vector of 3 element(s)" in msg
+        assert "rank 0 holds 4" in msg
+
+    def test_reduce_names_operation(self):
+        with pytest.raises(ValueError, match="^reduce: rank 1"):
+            ref_reduce([np.arange(2.0), np.arange(5.0)])
+
+    def test_reduce_scatter_names_operation(self):
+        with pytest.raises(ValueError, match="^reduce_scatter: rank 1"):
+            ref_reduce_scatter([np.arange(2.0), np.arange(5.0)])

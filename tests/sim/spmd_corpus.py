@@ -270,7 +270,8 @@ def canonical_results(run) -> str:
     return "\n".join(parts)
 
 
-def run_entry(name: str, metrics: bool = False, audit: bool = False):
+def run_entry(name: str, metrics: bool = False, audit: bool = False,
+              faults=None):
     """Execute one corpus program with tracing on; returns the RunResult.
 
     ``metrics`` additionally turns on channel-metrics collection — the
@@ -279,11 +280,16 @@ def run_entry(name: str, metrics: bool = False, audit: bool = False):
     turns metrics on AND forces the full model-audit readback
     (``run.audit`` + ``run.channel_metrics``) before fingerprinting:
     prediction capture and the audit layer must also be invisible to
-    simulated results.
+    simulated results.  ``faults`` threads a
+    :class:`~repro.sim.faults.FaultSchedule` through the run — with an
+    *empty* schedule the fingerprints must not change either (the fault
+    layer is strictly passive, see docs/robustness.md), and with
+    delay-only schedules (jitter/slowdown) ``result_sha256`` must not
+    change (the property test in tests/sim/test_fault_properties.py).
     """
     topo_spec, params_name, prog = CORPUS[name]
     machine = Machine(_topo(*topo_spec), preset(params_name), trace=True)
-    run = machine.run(prog, metrics=metrics or audit)
+    run = machine.run(prog, metrics=metrics or audit, faults=faults)
     if audit:
         assert run.audit is not None
         assert run.channel_metrics is not None
@@ -301,9 +307,10 @@ def fingerprint(run) -> Dict[str, object]:
     }
 
 
-def generate_goldens(metrics: bool = False, audit: bool = False
-                     ) -> Dict[str, Dict[str, object]]:
-    return {name: fingerprint(run_entry(name, metrics=metrics, audit=audit))
+def generate_goldens(metrics: bool = False, audit: bool = False,
+                     faults=None) -> Dict[str, Dict[str, object]]:
+    return {name: fingerprint(run_entry(name, metrics=metrics, audit=audit,
+                                        faults=faults))
             for name in CORPUS}
 
 
@@ -321,8 +328,17 @@ def main(argv=None) -> int:
                     help="additionally force the model-audit readback "
                          "(run.audit) before fingerprinting; the goldens "
                          "must still match")
+    ap.add_argument("--empty-faults", action="store_true",
+                    help="thread an empty FaultSchedule through every run; "
+                         "the goldens must still match (the fault layer is "
+                         "strictly passive, docs/robustness.md)")
     args = ap.parse_args(argv)
-    goldens = generate_goldens(metrics=args.metrics, audit=args.audit)
+    faults = None
+    if args.empty_faults:
+        from repro.sim import FaultSchedule
+        faults = FaultSchedule()
+    goldens = generate_goldens(metrics=args.metrics, audit=args.audit,
+                               faults=faults)
     if args.write:
         os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
         with open(GOLDEN_PATH, "w") as f:

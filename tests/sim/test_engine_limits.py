@@ -30,6 +30,69 @@ class TestEventLimit:
             engine.run()
 
 
+class TestConfigurableEventLimit:
+    def test_machine_run_max_events_override(self):
+        """Machine.run(max_events=...) reaches the engine."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def ping_forever(env):
+            other = 1 - env.rank
+            while True:
+                s = env.isend(other, np.zeros(1, dtype=np.uint8))
+                r = env.irecv(other)
+                yield env.waitall(s, r)
+
+        with pytest.raises(SimulationLimitError, match="exceeded 4000"):
+            machine.run(ping_forever, max_events=4000)
+
+    def test_machine_level_max_events(self):
+        """Machine(max_events=...) applies to every run."""
+        machine = Machine(LinearArray(2), UNIT, max_events=3000)
+
+        def ping_forever(env):
+            other = 1 - env.rank
+            while True:
+                s = env.isend(other, np.zeros(1, dtype=np.uint8))
+                r = env.irecv(other)
+                yield env.waitall(s, r)
+
+        with pytest.raises(SimulationLimitError, match="exceeded 3000"):
+            machine.run(ping_forever)
+
+    def test_context_can_lower_the_limit_mid_run(self):
+        """CollContext.max_events reads and writes the live engine limit,
+        so a rank program can trip SimulationLimitError early."""
+        from repro.core.context import CollContext
+        machine = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            ctx = CollContext(env)
+            if env.rank == 0:
+                assert ctx.max_events == 200_000_000  # engine default
+                ctx.max_events = 500
+            other = 1 - env.rank
+            while True:
+                s = env.isend(other, np.zeros(1, dtype=np.uint8))
+                r = env.irecv(other)
+                yield env.waitall(s, r)
+
+        with pytest.raises(SimulationLimitError, match="exceeded 500"):
+            machine.run(prog)
+
+    def test_context_rejects_nonpositive_limit(self):
+        from repro.core.context import CollContext
+        machine = Machine(LinearArray(1), UNIT)
+
+        def prog(env):
+            ctx = CollContext(env)
+            with pytest.raises(ValueError):
+                ctx.max_events = 0
+            yield env.delay(0.0)
+            return "ok"
+
+        assert machine.run(prog).results == ["ok"]
+
+
 class TestDeadlockDiagnostics:
     def test_diagnostics_name_the_blocked_peer(self):
         machine = Machine(LinearArray(3), UNIT)
@@ -67,6 +130,64 @@ class TestDeadlockDiagnostics:
 
         with pytest.raises(DeadlockError):
             machine.run(prog)
+
+    def test_wait_for_cycle_appears_in_message(self):
+        """The upgraded diagnosis names the wait-for cycle explicitly
+        (regression for the old first-16-repr-only report)."""
+        machine = Machine(LinearArray(2), UNIT)
+
+        def prog(env):
+            other = 1 - env.rank
+            yield env.send(other, np.zeros(4))
+            yield env.recv(other)
+
+        with pytest.raises(DeadlockError) as exc:
+            machine.run(prog)
+        msg = str(exc.value)
+        assert "wait-for cycle: 0 -> 1 -> 0" in msg
+
+    def test_three_rank_cycle(self):
+        """0 sends to 1, 1 to 2, 2 to 0 — all blocking: a 3-cycle."""
+        machine = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            nxt = (env.rank + 1) % 3
+            prv = (env.rank - 1) % 3
+            yield env.send(nxt, np.zeros(4))
+            yield env.recv(prv)
+
+        with pytest.raises(DeadlockError) as exc:
+            machine.run(prog)
+        assert "wait-for cycle: 0 -> 1 -> 2 -> 0" in str(exc.value)
+
+    def test_oldest_unmatched_request_reported(self):
+        """Each blocked rank's oldest unmatched posted request is named
+        with (peer, tag, nbytes) and its post time."""
+        machine = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            if env.rank == 0:
+                yield env.delay(2.5)
+                # never matched: rank 2 never sends tag 9
+                yield env.recv(2, tag=9)
+
+        with pytest.raises(DeadlockError) as exc:
+            machine.run(prog)
+        msg = str(exc.value)
+        assert "rank 0: oldest unmatched recv (peer=2, tag=9, 0B) " \
+               "posted at t=2.5" in msg
+
+    def test_no_cycle_line_for_acyclic_hang(self):
+        """A one-sided hang (no cycle) must not invent a cycle."""
+        machine = Machine(LinearArray(3), UNIT)
+
+        def prog(env):
+            if env.rank == 0:
+                yield env.recv(2, tag=7)
+
+        with pytest.raises(DeadlockError) as exc:
+            machine.run(prog)
+        assert "wait-for cycle" not in str(exc.value)
 
     def test_head_to_head_nonblocking_is_fine(self):
         """The same exchange with isend/irecv completes."""
