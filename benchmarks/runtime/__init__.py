@@ -1,0 +1,1 @@
+"""Wall-clock microbenchmarks for the real multi-process backend."""

@@ -1,0 +1,200 @@
+"""Microbenchmarks for the process backend: emit ``BENCH_runtime.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.runtime.run               # full
+    PYTHONPATH=src python -m benchmarks.runtime.run --grid smoke  # CI
+    PYTHONPATH=src python -m benchmarks.runtime.run --transport tcp
+
+Two experiments, both timed *inside* the rank programs (wall clock
+around the message loop, excluding process spawn and mesh wiring):
+
+* **ping-pong** between two rank processes over a range of message
+  lengths — the classic alpha/beta characterization (section 11 of the
+  paper, :mod:`repro.analysis.calibrate`): half round-trip time is
+  ``alpha + n * beta``, so a least-squares line through the samples
+  yields the *measured* latency and inverse bandwidth of this host's
+  transport.  The report stores the fit next to the configured
+  simulator presets — the measured-vs-modelled table of
+  docs/runtime.md;
+* **collective wall times** on four ranks — per-operation mean wall
+  seconds, next to the simulator's *predicted* time for the same
+  collective under the fitted params (the model applied to the machine
+  the measurement says we have).
+
+The fitted constants describe pickled frames over pipes/sockets on one
+host, not a wormhole-routed mesh — expect alpha orders of magnitude
+above the Paragon's 100 us and per-byte cost dominated by pickling.
+That gap is the point: the paper's porting procedure ("enter a few
+parameters that describe the system") applied to the machine at hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(os.path.dirname(_HERE))
+DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_runtime.json")
+
+GRIDS = {
+    "smoke": {"lengths": [0, 1024, 65536], "pingpong_reps": 20,
+              "coll_ns": [1024], "coll_reps": 5},
+    "full": {"lengths": [0, 64, 1024, 16384, 262144, 1048576],
+             "pingpong_reps": 50, "coll_ns": [1024, 65536],
+             "coll_reps": 20},
+}
+
+COLLECTIVES = ["bcast", "allreduce", "collect", "reduce_scatter"]
+_COLL_P = 4
+
+
+def _pingpong_prog(nbytes, reps):
+    def prog(env):
+        payload = np.zeros(int(nbytes), dtype=np.uint8)
+        other = 1 - env.rank
+        if env.rank == 0:
+            yield env.send(other, payload)      # warm the path
+            yield env.recv(other)
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                yield env.send(other, payload)
+                yield env.recv(other)
+            elapsed = time.perf_counter() - t0
+            return elapsed / (2.0 * reps)       # half round trip
+        got = yield env.recv(other)
+        yield env.send(other, got)
+        for _ in range(reps):
+            got = yield env.recv(other)
+            yield env.send(other, got)
+        return None
+    return prog
+
+
+def _collective_prog(op, n, reps):
+    def prog(env):
+        from repro.core import api
+        from repro.core.partition import partition_sizes
+        sizes = partition_sizes(n, env.nranks)
+        v = np.arange(n, dtype=np.float64) + env.rank
+        blk = np.arange(sizes[env.rank], dtype=np.float64) + env.rank
+        yield from api.barrier(env)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            if op == "bcast":
+                buf = v if env.rank == 0 else None
+                yield from api.bcast(env, buf, root=0, total=n)
+            elif op == "allreduce":
+                yield from api.allreduce(env, v)
+            elif op == "collect":
+                yield from api.collect(env, blk, sizes=sizes)
+            elif op == "reduce_scatter":
+                yield from api.reduce_scatter(env, v, sizes=sizes)
+            else:  # pragma: no cover
+                raise AssertionError(op)
+        return (time.perf_counter() - t0) / reps
+    return prog
+
+
+def measure_pingpong(machine, lengths, reps):
+    """Measured (bytes, half-round-trip seconds) per message length."""
+    samples = []
+    for nbytes in lengths:
+        res = machine.run(_pingpong_prog(nbytes, reps), ranks=[0, 1])
+        samples.append((int(nbytes), float(res.results[0])))
+    return samples
+
+
+def measure_collectives(machine, ns, reps, fitted_params):
+    """Per-collective mean wall seconds and the model's prediction."""
+    from repro.core.topology import LinearArray
+    from repro.sim import Machine
+
+    out = {}
+    predictor = Machine(LinearArray(_COLL_P), fitted_params)
+    for op in COLLECTIVES:
+        for n in ns:
+            res = machine.run(_collective_prog(op, n, reps))
+            wall = max(t for t in res.results if t is not None)
+            predicted = predictor.run(_collective_prog(op, n, 1)).time
+            out[f"{op}/p{_COLL_P}/n{n}"] = {
+                "wall_s": wall,
+                "predicted_s": predicted,
+                "ratio": wall / predicted if predicted > 0 else None,
+            }
+    return out
+
+
+def main(argv=None) -> int:
+    from repro.analysis.calibrate import fit_alpha_beta
+    from repro.core.params import PRESETS
+    from repro.runtime import ProcessMachine
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--grid", choices=sorted(GRIDS), default="full")
+    ap.add_argument("--transport", choices=("local", "tcp"),
+                    default="local")
+    ap.add_argument("--output", default=DEFAULT_OUTPUT,
+                    help="where to write the JSON report")
+    args = ap.parse_args(argv)
+    grid = GRIDS[args.grid]
+
+    print(f"# ping-pong over {args.transport} transport")
+    pp_machine = ProcessMachine(2, transport=args.transport, timeout=300)
+    samples = measure_pingpong(pp_machine, grid["lengths"],
+                               grid["pingpong_reps"])
+    alpha, beta = fit_alpha_beta(samples)
+    for nbytes, t in samples:
+        print(f"  {nbytes:>8} B  {t * 1e6:10.1f} us")
+    print(f"  fitted alpha = {alpha * 1e6:.1f} us, "
+          f"beta = {beta * 1e9:.3f} ns/B "
+          f"({1.0 / beta / 1e6:.1f} MB/s)" if beta > 0 else
+          f"  fitted alpha = {alpha * 1e6:.1f} us, beta = 0")
+
+    # predict collectives with the *fitted* machine description
+    from repro.core.params import MachineParams
+    fitted = MachineParams(alpha=alpha, beta=beta, gamma=1e-9,
+                           sw_overhead=0.0, link_capacity=1.0)
+    print(f"# collectives on {_COLL_P} ranks")
+    coll_machine = ProcessMachine(_COLL_P, transport=args.transport,
+                                  timeout=300)
+    collectives = measure_collectives(coll_machine, grid["coll_ns"],
+                                      grid["coll_reps"], fitted)
+    for cid, entry in collectives.items():
+        print(f"  {cid:<28} {entry['wall_s'] * 1e6:10.1f} us wall, "
+              f"{entry['predicted_s'] * 1e6:10.1f} us predicted")
+
+    report = {
+        "meta": {
+            "transport": args.transport,
+            "grid": args.grid,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "pingpong": {
+            "reps": grid["pingpong_reps"],
+            "samples": [[n, t] for n, t in samples],
+            "fitted": {"alpha_s": alpha, "beta_s_per_byte": beta},
+        },
+        "model_presets": {
+            name: {"alpha_s": p.alpha, "beta_s_per_byte": p.beta}
+            for name, p in sorted(PRESETS.items())
+        },
+        "collectives": collectives,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,21 @@ Convenience re-exports cover the common entry points::
 
 from .core import (CollContext, Communicator, CostModel, Selector,
                    Strategy, api, make_plan)
-from .sim import (DELTA, IPSC860, PARAGON, UNIT, Hypercube, LinearArray,
-                  Machine, MachineParams, Mesh2D, Ring, Torus2D)
+from .core.params import DELTA, IPSC860, PARAGON, UNIT, MachineParams
+from .core.topology import (Hypercube, LinearArray, Mesh2D, Ring,
+                            Torus2D)
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Machine is the simulator facade; load repro.sim lazily so that
+    # `import repro` / `import repro.core` work without pulling in the
+    # simulator (repro.runtime processes only need the core library).
+    if name == "Machine":
+        from .sim import Machine
+        return Machine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CollContext", "Communicator", "CostModel", "Selector", "Strategy",

@@ -65,8 +65,17 @@ def _context(env, group, tag) -> CollContext:
 
 
 def _mesh_shape(ctx: CollContext) -> Optional[Tuple[int, int]]:
-    """(subrows, subcols) if the group is mesh-aligned, else None."""
-    struct = classify(ctx.group, ctx.env.topology)
+    """(subrows, subcols) if the group is mesh-aligned, else None.
+
+    An env without topology metadata (a real backend launched without a
+    machine description) reports None: the group is priced as a linear
+    array, exactly the paper's rule for groups whose structure "cannot
+    be ascertained" (section 9).
+    """
+    topology = getattr(ctx.env, "topology", None)
+    if topology is None:
+        return None
+    struct = classify(ctx.group, topology)
     if struct.is_mesh_aligned and struct.shape is not None:
         return struct.shape
     return None
@@ -81,6 +90,16 @@ def _mesh_shape(ctx: CollContext) -> Optional[Tuple[int, int]]:
 #: forbidden for any operation where some ranks lack the buffer
 #: (broadcast: only the root holds data).
 DEFAULT_ITEMSIZE = 8
+
+#: ``algorithm="auto"`` fallback threshold when the env reports no
+#: :class:`~repro.core.params.MachineParams` (a real backend launched
+#: without a machine description): payloads of at most this many bytes
+#: use the short-vector strategy, larger ones the long-vector strategy.
+#: A fixed constant — not derived from any local state — so every group
+#: member resolves the same strategy (the SPMD agreement contract).
+#: 4096 bytes sits inside the short/long crossover band of every
+#: configured preset (see docs/runtime.md).
+AUTO_FALLBACK_SHORT_NBYTES = 4096
 
 
 def _agreed_itemsize(dtype) -> int:
@@ -130,15 +149,29 @@ def resolve_strategy(ctx: CollContext, operation: str,
     if algorithm == "long":
         return Strategy((p,), _LONG[operation])
     if algorithm == "auto":
-        params = ctx.env.params
+        params = getattr(ctx.env, "params", None)
+        if params is None:
+            # No MachineParams to price candidates with (a real backend
+            # launched without a machine description): fall back to the
+            # documented fixed-threshold rule.  Deterministic and
+            # rank-agreed — the threshold is a constant and n/itemsize
+            # are part of the collective contract.
+            regime = ("short" if n * itemsize <= AUTO_FALLBACK_SHORT_NBYTES
+                      else "long")
+            ctx.annotate_next_op(selector_fallback=regime)
+            return Strategy((p,), (_SHORT if regime == "short"
+                                   else _LONG)[operation])
         # Degraded-link pricing (docs/robustness.md): when the fault
         # schedule declares link slowdowns, price candidates with the
         # worst declared beta multiplier so the Selector re-ranks for
         # the degraded machine.  Derived from the *schedule* (not the
         # instantaneous fault state) so every rank prices identically
         # regardless of when it resolves — the SPMD agreement contract.
+        # Only the simulator has a fault layer; other backends price
+        # with the params as given.
         beta_mult = 1.0
-        fs = ctx.env.engine._faults
+        eng = getattr(ctx.env, "engine", None)
+        fs = eng._faults if eng is not None else None
         if fs is not None:
             beta_mult = fs.schedule.pricing_beta_multiplier()
             if beta_mult > 1.0:
@@ -146,7 +179,7 @@ def resolve_strategy(ctx: CollContext, operation: str,
         sel = selector_for(params, itemsize=itemsize)
         mesh_shape = _mesh_shape(ctx)
         choice = sel.best(operation, p, n, mesh_shape=mesh_shape)
-        if ctx.env.engine.tracer is not None:
+        if ctx._tracer() is not None:
             _capture_prediction(ctx, sel, operation, p, n, itemsize,
                                 mesh_shape, choice)
             if beta_mult > 1.0:

@@ -20,14 +20,21 @@ from typing import Generator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.engine import RankEnv
 from . import api
 from .context import CollContext
 from .groups import classify
 
-#: how many derived-context ids each communicator may hand out; ids are
-#: allocated as parent_id * _FANOUT + counter, which is collision-free as
-#: long as no communicator derives more than _FANOUT children.
+#: radix of the derived-context-id scheme.  Ids are base-_FANOUT digit
+#: strings: child ``k`` of a communicator appends digit ``k``
+#: (``1 <= k <= _FANOUT - 2``), and the reserved top digit
+#: ``_FANOUT - 1`` is an *escape*: once a communicator has handed out
+#: ``_FANOUT - 2`` children it rebases (appends the escape digit) and
+#: keeps counting, so the number of derived communicators is unbounded.
+#: Because no digit is ever 0 and the escape digit is never a terminal
+#: child digit, distinct derivation paths always yield distinct ids —
+#: concurrent collectives on sibling communicators can never
+#: cross-match messages, no matter how many are derived (long-lived
+#: real-backend processes derive far more than simulated runs do).
 _FANOUT = 1024
 
 
@@ -39,12 +46,15 @@ class Communicator:
     the same sequence of derivation and collective calls.
     """
 
-    def __init__(self, env: RankEnv, group: Optional[Sequence[int]] = None,
+    def __init__(self, env, group: Optional[Sequence[int]] = None,
                  context_id: int = 1):
         self.env = env
         self.ctx = CollContext(env, group, tag=context_id)
         self.context_id = context_id
         self._children = 0
+        #: id prefix new children extend; advances past ``context_id``
+        #: when the escape digit is appended (see ``_FANOUT``)
+        self._id_base = context_id
 
     # ------------------------------------------------------------------
 
@@ -66,10 +76,21 @@ class Communicator:
         return self.ctx.group
 
     def _next_context_id(self) -> int:
+        """A fresh, globally unique context id for a derived communicator.
+
+        SPMD-deterministic: every member derives in the same order, so
+        all ranks compute the same id without communicating.  The digit
+        scheme (see ``_FANOUT``) is unbounded — when this communicator
+        exhausts a digit block it appends the reserved escape digit and
+        keeps allocating from the extended prefix, so long-lived
+        processes can derive arbitrarily many communicators without id
+        collisions (ids grow by one base-1024 digit per 1022 children).
+        """
         self._children += 1
-        if self._children >= _FANOUT:
-            raise RuntimeError("too many derived communicators")
-        return self.context_id * _FANOUT + self._children
+        if self._children >= _FANOUT - 1:
+            self._id_base = self._id_base * _FANOUT + (_FANOUT - 1)
+            self._children = 1
+        return self._id_base * _FANOUT + self._children
 
     # ------------------------------------------------------------------
     # derivation
@@ -100,7 +121,8 @@ class Communicator:
         survivors is preserved.  Raises when *every* member is crashed
         (the calling rank must itself be a survivor to use the result).
         """
-        fs = self.env.engine._faults
+        eng = getattr(self.env, "engine", None)
+        fs = eng._faults if eng is not None else None
         dead = (fs.schedule.crashed_nodes() if fs is not None
                 else frozenset())
         survivors = [l for l, node in enumerate(self.ctx.group)
@@ -140,7 +162,13 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def _submesh_shape(self) -> Tuple[int, int]:
-        struct = classify(self.ctx.group, self.env.topology)
+        topology = getattr(self.env, "topology", None)
+        if topology is None:
+            raise RuntimeError(
+                "communicator group structure is unknown: the env has no "
+                "topology metadata (launch the backend with a topology "
+                "description to use row/col communicators)")
+        struct = classify(self.ctx.group, topology)
         if not struct.is_mesh_aligned or struct.shape is None:
             raise RuntimeError(
                 "communicator group is not a mesh-aligned submesh")

@@ -17,16 +17,24 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence, Tuple
 
-from ..sim.engine import CommHandle, RankEnv, _WaitGroup, payload_nbytes
+from .protocol import CommHandle, _WaitGroup, payload_nbytes
 
 
 class CollContext:
     """A rank's view of a collective operating over a node group.
 
+    Backend-neutral: ``env`` may be the simulator's
+    :class:`~repro.sim.engine.RankEnv` or any object satisfying the
+    protocol contract of :mod:`repro.core.protocol` (e.g. the process
+    runtime's :class:`~repro.runtime.env.ProcessEnv`).  When the env
+    exposes a simulator ``engine``, the hot send/recv path posts
+    straight into it; otherwise the context goes through the env's
+    public ``isend``/``irecv`` surface.
+
     Parameters
     ----------
     env:
-        The rank's :class:`~repro.sim.engine.RankEnv`.
+        The rank's env (simulated or real backend).
     group:
         Physical node ids, logical order.  ``None`` means all nodes in
         rank order (the whole-machine group).
@@ -40,7 +48,7 @@ class CollContext:
     __slots__ = ("env", "group", "tag", "rank", "_phys2log", "_eng",
                  "_op_attrs")
 
-    def __init__(self, env: RankEnv, group: Optional[Sequence[int]] = None,
+    def __init__(self, env, group: Optional[Sequence[int]] = None,
                  tag: int = 0):
         self.env = env
         if group is None:
@@ -53,7 +61,8 @@ class CollContext:
         self.tag = tag
         self._phys2log = {p: l for l, p in enumerate(self.group)}
         self.rank: Optional[int] = self._phys2log.get(env.rank)
-        self._eng = env.engine
+        #: simulator engine when the env has one, else None (real backend)
+        self._eng = getattr(env, "engine", None)
         self._op_attrs: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -96,14 +105,27 @@ class CollContext:
         runaway collective into a prompt
         :class:`~repro.sim.engine.SimulationLimitError` instead of a
         multi-minute spin to the default limit.
+
+        Simulator-only: a real backend has no event heap, so reading or
+        setting this on a non-simulated env raises a clear error (use
+        the launcher's wall-clock watchdog instead, docs/runtime.md).
         """
+        self._require_engine("max_events")
         return self._eng.max_events
 
     @max_events.setter
     def max_events(self, value: int) -> None:
         if value < 1:
             raise ValueError("max_events must be positive")
+        self._require_engine("max_events")
         self._eng.max_events = value
+
+    def _require_engine(self, what: str) -> None:
+        if self._eng is None:
+            raise RuntimeError(
+                f"{what} is a simulator control, but this context's env "
+                f"({type(self.env).__name__}) has no engine; on the real "
+                "backend use the launcher watchdog (docs/runtime.md)")
 
     # ------------------------------------------------------------------
     # communication in logical coordinates
@@ -111,17 +133,26 @@ class CollContext:
 
     def isend(self, ldst: int, data: Any,
               nbytes: Optional[float] = None) -> CommHandle:
-        # Calls straight into the engine (skipping the RankEnv wrapper):
-        # group code posts one send+recv pair per ring/tree step, so this
-        # is the single hottest call of every long-vector collective.
+        # On the simulator this calls straight into the engine (skipping
+        # the RankEnv wrapper): group code posts one send+recv pair per
+        # ring/tree step, so this is the single hottest call of every
+        # long-vector collective.  Other backends go through the env's
+        # public surface.
         if nbytes is None:
             nbytes = payload_nbytes(data)
-        return self._eng._post_send(self.env.rank, self.group[ldst],
-                                    self.tag, data, nbytes)
+        eng = self._eng
+        if eng is not None:
+            return eng._post_send(self.env.rank, self.group[ldst],
+                                  self.tag, data, nbytes)
+        return self.env.isend(self.group[ldst], data, tag=self.tag,
+                              nbytes=nbytes)
 
     def irecv(self, lsrc: int) -> CommHandle:
-        return self._eng._post_recv(self.env.rank, self.group[lsrc],
-                                    self.tag)
+        eng = self._eng
+        if eng is not None:
+            return eng._post_recv(self.env.rank, self.group[lsrc],
+                                  self.tag)
+        return self.env.irecv(self.group[lsrc], tag=self.tag)
 
     def send(self, ldst: int, data: Any, nbytes: Optional[float] = None):
         return self.env.send(self.group[ldst], data, tag=self.tag,
@@ -161,7 +192,7 @@ class CollContext:
         ``algorithm="auto"`` dispatch attaches its prediction record to
         the whole-collective span the hybrid opens a moment later.
         """
-        tracer = self._eng.tracer
+        tracer = self._tracer()
         if tracer is None:
             return None
         if phase == "op" and self._op_attrs is not None:
@@ -169,8 +200,20 @@ class CollContext:
             merged.update(attrs)
             attrs = merged
             self._op_attrs = None
-        return tracer.span_open(self._eng.now, self.env.rank, label,
+        return tracer.span_open(self._now(), self.env.rank, label,
                                 phase=phase, attrs=attrs or None)
+
+    def _tracer(self):
+        """The env's trace collector, or None (tracing off / backend
+        without one)."""
+        eng = self._eng
+        if eng is not None:
+            return eng.tracer
+        return getattr(self.env, "tracer", None)
+
+    def _now(self) -> float:
+        eng = self._eng
+        return eng.now if eng is not None else self.env.now
 
     def annotate_next_op(self, **attrs) -> None:
         """Stash attributes for the next ``"op"``-phase span on this
@@ -182,7 +225,7 @@ class CollContext:
         :meth:`span_open` merges it in.  Purely observational: never
         touches simulated state.
         """
-        if self._eng.tracer is None:
+        if self._tracer() is None:
             return
         if self._op_attrs is None:
             self._op_attrs = {}
@@ -191,7 +234,7 @@ class CollContext:
     def span_close(self, span) -> None:
         """Close a span opened with :meth:`span_open` (None is a no-op)."""
         if span is not None:
-            self._eng.tracer.span_close(span, self._eng.now)
+            self._tracer().span_close(span, self._now())
 
     # ------------------------------------------------------------------
     # subgroups (hybrid stages, mesh rows/columns)

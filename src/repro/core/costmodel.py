@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..sim.params import MachineParams
+from .params import MachineParams
 from .strategy import Strategy
 
 

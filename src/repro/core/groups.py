@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from ..sim.topology import Mesh2D, Topology, Torus2D
+from .topology import Mesh2D, Topology, Torus2D
 
 
 @dataclass(frozen=True)

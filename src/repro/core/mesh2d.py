@@ -19,8 +19,8 @@ from typing import Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.params import MachineParams
-from ..sim.topology import Mesh2D
+from .params import MachineParams
+from .topology import Mesh2D
 from .context import CollContext
 from .hybrid import hybrid_collect, hybrid_reduce_scatter
 from .selection import Choice, selector_for

@@ -1,0 +1,194 @@
+"""Backend-neutral SPMD request protocol.
+
+Every collective algorithm in :mod:`repro.core` is an SPMD generator
+that interacts with *some* machine — simulated or real — exclusively by
+``yield``-ing request objects built through a rank-environment object
+(an "env").  This module is the contract between the two sides:
+
+* the **request types** a program may yield (:class:`_Delay`,
+  :class:`_WaitGroup`, and bare :class:`CommHandle` as post+wait
+  shorthand), and
+* the **env surface** a backend must provide to drive those programs
+  (see :class:`RankEnvLike` below).
+
+Historically these types lived in :mod:`repro.sim.engine`; they were
+extracted here so that ``repro.core`` (algorithms, contexts,
+communicators) depends only on the protocol, never on the simulator —
+:mod:`repro.sim.engine` re-exports them for backward compatibility, and
+:mod:`repro.runtime` implements the same protocol over real OS
+processes (see ``docs/runtime.md``).
+
+The env contract
+----------------
+A backend's env object must provide, at minimum:
+
+``rank`` / ``nranks``
+    this rank's id and the machine size;
+``isend(dst, data, tag=0, nbytes=None)`` / ``irecv(src, tag=0)``
+    post a nonblocking send/receive, returning a :class:`CommHandle`;
+``send`` / ``recv`` / ``waitall``
+    blocking variants returning yieldable requests;
+``delay`` / ``compute`` / ``overhead`` / ``mark``
+    cost/annotation requests (a real backend is free to treat them as
+    zero-cost: real time passes by itself);
+``now``
+    elapsed seconds (simulated or wall-clock).
+
+Optionally it may expose:
+
+``params``
+    a :class:`~repro.core.params.MachineParams` describing the machine
+    model — consulted by ``algorithm="auto"`` strategy selection.  An
+    env that reports no params (attribute absent or ``None``) gets the
+    documented threshold fallback instead (see
+    :func:`repro.core.api.resolve_strategy`);
+``topology``
+    a :class:`~repro.core.topology.Topology` describing the physical
+    interconnect — consulted by group-structure classification.  Absent
+    or ``None`` means groups are treated as linear arrays (section 9's
+    "when a group is unstructured ... it is treated as though it were a
+    linear array");
+``engine`` / ``tracer``
+    simulator internals (event loop, trace collector).  Only the
+    simulated backend has them; core code must tolerate their absence.
+
+Message matching is by ``(source, tag)`` with FIFO order per pair on
+every backend — that rule, not the transport, is what makes SPMD
+programs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a message payload, in bytes.
+
+    NumPy arrays and scalars report their true buffer size; ``bytes``
+    its length; Python ints/floats count as 8 bytes; ``None`` is a
+    zero-byte synchronization message; sequences are summed.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, np.generic):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, complex)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    raise TypeError(
+        f"cannot infer wire size of {type(obj).__name__}; pass nbytes="
+    )
+
+
+# ----------------------------------------------------------------------
+# Requests yielded by programs
+# ----------------------------------------------------------------------
+
+class _Request:
+    """Base class for everything a program may yield."""
+    __slots__ = ()
+
+
+class _Delay(_Request):
+    """Advance this rank's clock by ``duration`` seconds.
+
+    The simulator charges it on the event heap; a real backend treats it
+    as a no-op (wall-clock time passes on its own).
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError("cannot delay by a negative duration")
+        self.duration = duration
+
+
+class CommHandle:
+    """Completion handle for a posted (nonblocking) send or receive.
+
+    Backend-neutral: the simulator completes handles from its event
+    loop (via :meth:`_complete`, which wakes registered
+    :class:`_WaitGroup` waiters); the process runtime completes them
+    from its transport progress loop by setting :attr:`done`/''data''
+    directly and polling.
+    """
+
+    __slots__ = ("kind", "peer", "tag", "data", "nbytes", "done",
+                 "_waiters", "record", "posted_at", "partner", "retries")
+
+    def __init__(self, kind: str, peer: int, tag: int,
+                 data: Any = None, nbytes: float = 0.0,
+                 posted_at: float = 0.0):
+        self.kind = kind          # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.data = data          # payload (filled in on recv completion)
+        self.nbytes = nbytes
+        self.done = False
+        self._waiters: Optional[List["_WaitGroup"]] = None
+        self.record = None        # MessageRecord when the run is traced
+        self.posted_at = posted_at
+        self.retries = 0          # retransmissions after link faults
+
+    def _complete(self, engine) -> None:
+        self.done = True
+        waiters = self._waiters
+        if waiters:
+            self._waiters = None
+            for wg in waiters:
+                wg.notify(engine)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<{self.kind} peer={self.peer} tag={self.tag} {state}>"
+
+
+class _WaitGroup(_Request):
+    """Blocks a process until every listed handle completes."""
+
+    __slots__ = ("handles", "pending", "proc")
+
+    def __init__(self, handles: List[CommHandle]):
+        self.handles = handles
+        self.pending = 0
+        self.proc = None
+
+    def arm(self, engine, proc) -> bool:
+        """Register on incomplete handles.  Returns True if already done.
+
+        Simulator-side plumbing: ``engine`` only needs a ``_ready``
+        method (duck-typed); the process runtime never calls this.
+        """
+        self.proc = proc
+        pending = 0
+        for h in self.handles:
+            if not h.done:
+                if h._waiters is None:
+                    h._waiters = [self]
+                else:
+                    h._waiters.append(self)
+                pending += 1
+        self.pending = pending
+        return pending == 0
+
+    def notify(self, engine) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            engine._ready(self.proc, self._value())
+
+    def _value(self) -> Any:
+        if len(self.handles) == 1:
+            h = self.handles[0]
+            return h.data if h.kind == "recv" else None
+        return [h.data if h.kind == "recv" else None for h in self.handles]

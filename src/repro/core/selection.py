@@ -30,7 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..sim.params import MachineParams
+from .params import MachineParams
 from .costmodel import CostModel
 from .strategy import (Strategy, collect_candidates,
                        reduce_scatter_candidates, smc_candidates)

@@ -1,0 +1,38 @@
+"""Real multi-process execution backend.
+
+Runs the library's SPMD generator programs over OS processes instead of
+the discrete-event simulator: same programs, same ``(source, tag)``
+FIFO matching semantics, real wall-clock time.  See docs/runtime.md.
+
+::
+
+    from repro.runtime import ProcessMachine
+
+    machine = ProcessMachine(4, params=PARAGON, topology=Mesh2D(2, 2))
+    result = machine.run(program)
+
+or from the command line::
+
+    python -m repro.runtime.launch --np 4 mypkg.progs:demo
+"""
+
+from .env import ProcessEnv, RankDeadlineError, drive
+from .transport import LocalMesh, RankTransport, TcpMesh, TransportError
+
+_LAUNCH_NAMES = ("ProcessMachine", "RankError", "RuntimeHangDiagnosis",
+                 "RuntimeRunResult")
+
+
+def __getattr__(name):
+    # Loaded lazily so `python -m repro.runtime.launch` doesn't import
+    # the launch module twice (runpy's found-in-sys.modules warning).
+    if name in _LAUNCH_NAMES:
+        from . import launch
+        return getattr(launch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "LocalMesh", "ProcessEnv", "ProcessMachine", "RankDeadlineError",
+    "RankError", "RankTransport", "RuntimeHangDiagnosis",
+    "RuntimeRunResult", "TcpMesh", "TransportError", "drive",
+]

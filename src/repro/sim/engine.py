@@ -52,12 +52,23 @@ from collections import defaultdict, deque
 
 import numpy as np
 
+from ..core.protocol import (CommHandle, _Delay, _Request, _WaitGroup,
+                             payload_nbytes)
 from .faults import (DeadLetter, FaultDiagnosis, FaultSchedule, FaultState,
                      LinkFault, LinkSlowdown, NodeCrash)
 from .network import FluidNetwork
 from .params import MachineParams
 from .topology import Topology
 from .trace import MessageRecord, Tracer
+
+# Backward-compatibility re-exports: the request protocol (CommHandle,
+# _WaitGroup, _Delay, payload_nbytes) moved to repro.core.protocol so
+# that repro.core no longer imports simulator internals; historical
+# `from repro.sim.engine import CommHandle` spellings keep working.
+__all__ = [
+    "CommHandle", "DeadlockError", "Engine", "RankEnv",
+    "SimulationLimitError", "payload_nbytes",
+]
 
 
 class DeadlockError(RuntimeError):
@@ -75,117 +86,8 @@ class SimulationLimitError(RuntimeError):
     """Raised when an event-count safety limit is exceeded."""
 
 
-def payload_nbytes(obj: Any) -> int:
-    """Wire size of a message payload, in bytes.
-
-    NumPy arrays and scalars report their true buffer size; ``bytes``
-    its length; Python ints/floats count as 8 bytes; ``None`` is a
-    zero-byte synchronization message; sequences are summed.
-    """
-    if obj is None:
-        return 0
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, np.generic):
-        return obj.nbytes
-    if isinstance(obj, (bytes, bytearray, memoryview)):
-        return len(obj)
-    if isinstance(obj, (bool, int, float, complex)):
-        return 8
-    if isinstance(obj, (tuple, list)):
-        return sum(payload_nbytes(x) for x in obj)
-    if isinstance(obj, str):
-        return len(obj.encode())
-    raise TypeError(
-        f"cannot infer wire size of {type(obj).__name__}; pass nbytes="
-    )
-
-
-# ----------------------------------------------------------------------
-# Requests yielded by programs
-# ----------------------------------------------------------------------
-
-class _Request:
-    """Base class for everything a program may yield."""
-    __slots__ = ()
-
-
-class _Delay(_Request):
-    __slots__ = ("duration",)
-
-    def __init__(self, duration: float):
-        if duration < 0:
-            raise ValueError("cannot delay by a negative duration")
-        self.duration = duration
-
-
-class CommHandle:
-    """Completion handle for a posted (nonblocking) send or receive."""
-
-    __slots__ = ("kind", "peer", "tag", "data", "nbytes", "done",
-                 "_waiters", "record", "posted_at", "partner", "retries")
-
-    def __init__(self, kind: str, peer: int, tag: int,
-                 data: Any = None, nbytes: float = 0.0,
-                 posted_at: float = 0.0):
-        self.kind = kind          # "send" | "recv"
-        self.peer = peer
-        self.tag = tag
-        self.data = data          # payload (filled in on recv completion)
-        self.nbytes = nbytes
-        self.done = False
-        self._waiters: Optional[List["_WaitGroup"]] = None
-        self.record: Optional[MessageRecord] = None
-        self.posted_at = posted_at
-        self.retries = 0          # retransmissions after link faults
-
-    def _complete(self, engine: "Engine") -> None:
-        self.done = True
-        waiters = self._waiters
-        if waiters:
-            self._waiters = None
-            for wg in waiters:
-                wg.notify(engine)
-
-    def __repr__(self) -> str:
-        state = "done" if self.done else "pending"
-        return f"<{self.kind} peer={self.peer} tag={self.tag} {state}>"
-
-
-class _WaitGroup(_Request):
-    """Blocks a process until every listed handle completes."""
-
-    __slots__ = ("handles", "pending", "proc")
-
-    def __init__(self, handles: List[CommHandle]):
-        self.handles = handles
-        self.pending = 0
-        self.proc: Optional["_Process"] = None
-
-    def arm(self, engine: "Engine", proc: "_Process") -> bool:
-        """Register on incomplete handles.  Returns True if already done."""
-        self.proc = proc
-        pending = 0
-        for h in self.handles:
-            if not h.done:
-                if h._waiters is None:
-                    h._waiters = [self]
-                else:
-                    h._waiters.append(self)
-                pending += 1
-        self.pending = pending
-        return pending == 0
-
-    def notify(self, engine: "Engine") -> None:
-        self.pending -= 1
-        if self.pending == 0:
-            engine._ready(self.proc, self._value())
-
-    def _value(self) -> Any:
-        if len(self.handles) == 1:
-            h = self.handles[0]
-            return h.data if h.kind == "recv" else None
-        return [h.data if h.kind == "recv" else None for h in self.handles]
+# (payload_nbytes and the request classes _Request/_Delay/CommHandle/
+# _WaitGroup now live in repro.core.protocol — imported above.)
 
 
 # ----------------------------------------------------------------------

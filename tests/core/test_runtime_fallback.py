@@ -1,0 +1,111 @@
+"""Graceful degradation without a machine description.
+
+A real backend may be launched with no :class:`MachineParams` and no
+:class:`Topology` (``env.params`` / ``env.topology`` absent or None).
+The core library must keep working with documented fallbacks:
+
+* ``algorithm="auto"`` uses the fixed ``AUTO_FALLBACK_SHORT_NBYTES``
+  threshold instead of cost-model pricing (deterministic and
+  rank-agreed, so the SPMD strategy-agreement contract holds);
+* groups without topology metadata are priced as linear arrays;
+* simulator-only controls (``max_events``) raise a clear error naming
+  the real-backend alternative;
+* mesh ``row_comm``/``col_comm`` raise a clear error (group structure
+  genuinely cannot be ascertained without a topology).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.core.api import AUTO_FALLBACK_SHORT_NBYTES, resolve_strategy
+from repro.core.communicator import Communicator
+from repro.core.context import CollContext
+from repro.runtime import ProcessMachine
+
+
+def _bare_env(rank=0, nranks=4):
+    """An env with no params/topology/engine/tracer attributes at all."""
+    return SimpleNamespace(rank=rank, nranks=nranks)
+
+
+class TestAutoFallbackSelection:
+    def test_short_regime_below_threshold(self):
+        ctx = CollContext(_bare_env())
+        n = AUTO_FALLBACK_SHORT_NBYTES // 8
+        strat = resolve_strategy(ctx, "allreduce", "auto", n, 8)
+        short = resolve_strategy(ctx, "allreduce", "short", n, 8)
+        assert strat == short
+
+    def test_long_regime_above_threshold(self):
+        ctx = CollContext(_bare_env())
+        n = AUTO_FALLBACK_SHORT_NBYTES // 8 + 1
+        strat = resolve_strategy(ctx, "allreduce", "auto", n, 8)
+        long = resolve_strategy(ctx, "allreduce", "long", n, 8)
+        assert strat == long
+
+    def test_threshold_counts_bytes_not_elements(self):
+        ctx = CollContext(_bare_env())
+        n = AUTO_FALLBACK_SHORT_NBYTES // 2
+        # n elements of 1 byte: short; same n of 8 bytes: long
+        assert (resolve_strategy(ctx, "bcast", "auto", n, 1)
+                == resolve_strategy(ctx, "bcast", "short", n, 1))
+        assert (resolve_strategy(ctx, "bcast", "auto", n, 8)
+                == resolve_strategy(ctx, "bcast", "long", n, 8))
+
+    def test_explicit_algorithms_unaffected(self):
+        ctx = CollContext(_bare_env())
+        for alg in ("short", "long"):
+            strat = resolve_strategy(ctx, "reduce", alg, 1000, 8)
+            assert strat is not None
+
+
+class TestSimulatorOnlyControls:
+    def test_max_events_raises_clearly_off_simulator(self):
+        ctx = CollContext(_bare_env())
+        with pytest.raises(RuntimeError, match="launcher watchdog"):
+            _ = ctx.max_events
+        with pytest.raises(RuntimeError, match="launcher watchdog"):
+            ctx.max_events = 100
+
+    def test_row_comm_raises_clearly_without_topology(self):
+        comm = Communicator.world(_bare_env(rank=0, nranks=6))
+        with pytest.raises(RuntimeError, match="no .*topology"):
+            comm.row_comm()
+
+
+class TestEndToEndWithoutMachineDescription:
+    def test_collectives_run_and_agree_with_oracle(self):
+        # short payload (below threshold) and long payload (above),
+        # both with auto dispatch on a param-less real backend
+        def prog(env):
+            small = yield from api.allreduce(
+                env, np.arange(8.0) + env.rank)
+            big = yield from api.allreduce(
+                env, np.arange(1024.0) * (env.rank + 1))
+            return small, big
+
+        res = ProcessMachine(3, timeout=30).run(prog)
+        want_small = sum(np.arange(8.0) + r for r in range(3))
+        want_big = sum(np.arange(1024.0) * (r + 1) for r in range(3))
+        for r in range(3):
+            small, big = res.results[r]
+            assert np.allclose(small, want_small, rtol=1e-12, atol=0.0)
+            assert np.allclose(big, want_big, rtol=1e-12, atol=0.0)
+
+    def test_all_ranks_agree_on_fallback_strategy(self):
+        # if any rank resolved a different regime the collective would
+        # deadlock or corrupt; returning identical bytes proves the
+        # strategy agreement held
+        def prog(env):
+            out = yield from api.collect(
+                env, np.full(5, float(env.rank)),
+                sizes=[5] * env.nranks)
+            return out
+
+        res = ProcessMachine(4, timeout=30).run(prog)
+        want = np.concatenate([np.full(5, float(r)) for r in range(4)])
+        for r in range(4):
+            assert np.array_equal(res.results[r], want)

@@ -1,0 +1,40 @@
+"""Module-level SPMD programs for the launcher CLI tests.
+
+The ``python -m repro.runtime.launch`` entry point resolves programs by
+``module:function`` reference, so these must live at module scope (the
+closures used elsewhere in the test suite cannot be named on a command
+line).
+"""
+
+import numpy as np
+
+from repro.core import api
+
+
+def allreduce_demo(env):
+    """Sum rank-dependent vectors; every rank returns the total."""
+    v = np.arange(16, dtype=np.float64) * (env.rank % 7 + 1) + env.rank
+    out = yield from api.allreduce(env, v, op="sum")
+    return float(out[1])
+
+
+def pingpong(env):
+    """Rank 0 <-> rank 1 round trip; other ranks idle."""
+    payload = np.arange(64, dtype=np.float64)
+    if env.rank == 0:
+        yield env.send(1, payload, tag=1)
+        back = yield env.recv(1, tag=2)
+        return float(back[-1])
+    if env.rank == 1:
+        got = yield env.recv(0, tag=1)
+        yield env.send(0, got * 2, tag=2)
+        return float(got[-1])
+    return None
+
+
+def crasher(env):
+    """Rank 1 raises: exercises the CLI's RankError exit path."""
+    if env.rank == 1:
+        raise RuntimeError("deliberate failure for the CLI test")
+    yield env.delay(0.0)
+    return env.rank

@@ -1,0 +1,155 @@
+"""Transport-layer tests: FIFO delivery, tag matching, eager buffering.
+
+The matching rule — receives match sends with the same ``(source,
+tag)`` in FIFO order per pair — is the determinism contract both
+backends share.  These tests pin it at the transport/env level, below
+the collective algorithms.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import ProcessMachine, RankTransport
+from repro.runtime.env import ProcessEnv
+
+
+def _pair_transports():
+    """Two wired RankTransports inside this process (no forking)."""
+    ctx = multiprocessing.get_context("fork")
+    a_end, b_end = ctx.Pipe(duplex=True)
+    ta = RankTransport(0, 2, {1: a_end})
+    tb = RankTransport(1, 2, {0: b_end})
+    return ta, tb
+
+
+def _recv_all(tr, count, timeout=5.0):
+    got = []
+    deadline = time.monotonic() + timeout
+    while len(got) < count:
+        assert time.monotonic() < deadline, f"only {len(got)}/{count}"
+        msg = tr.recv_any(timeout=0.05)
+        if msg is not None:
+            got.append(msg)
+    return got
+
+
+class TestRankTransport:
+    def test_per_pair_fifo_order(self):
+        ta, tb = _pair_transports()
+        for i in range(100):
+            ta.send(1, i % 5, i)
+        got = _recv_all(tb, 100)
+        # global per-pair order is preserved, hence per-(src, tag) too
+        assert [payload for _, _, payload in got] == list(range(100))
+        assert all(src == 0 and tag == payload % 5
+                   for src, tag, payload in got)
+
+    def test_self_send_is_local(self):
+        ta, _ = _pair_transports()
+        ta.send(0, 7, "hello")
+        assert ta.recv_any(timeout=0.1) == (0, 7, "hello")
+
+    def test_large_payloads_do_not_block_sender(self):
+        # 2 MB is far beyond the OS pipe buffer: without the writer
+        # thread, send() would block and this test would hang.
+        ta, tb = _pair_transports()
+        big = np.arange(256 * 1024, dtype=np.float64)  # 2 MiB
+        t0 = time.monotonic()
+        for k in range(3):
+            ta.send(1, k, big * k)
+        assert time.monotonic() - t0 < 1.0  # eager: no wire wait
+        got = _recv_all(tb, 3, timeout=20.0)
+        for k, (_, tag, payload) in enumerate(got):
+            assert tag == k
+            assert np.array_equal(payload, big * k)
+
+    def test_flush_and_close_delivers_queued_frames(self):
+        ta, tb = _pair_transports()
+        for i in range(10):
+            ta.send(1, 0, i)
+        ta.flush_and_close()
+        got = _recv_all(tb, 10)
+        assert [p for _, _, p in got] == list(range(10))
+
+
+class TestEnvMatching:
+    """(source, tag) FIFO matching at the ProcessEnv layer."""
+
+    def _loopback_env(self):
+        ctx = multiprocessing.get_context("fork")
+        a_end, b_end = ctx.Pipe(duplex=True)
+        t0 = RankTransport(0, 2, {1: a_end})
+        t1 = RankTransport(1, 2, {0: b_end})
+        return (ProcessEnv(0, 2, t0, poll=0.01),
+                ProcessEnv(1, 2, t1, poll=0.01))
+
+    def test_unexpected_messages_match_posted_recvs_by_tag(self):
+        e0, e1 = self._loopback_env()
+        # sends arrive before any recv is posted, in tag order 5 then 3
+        e0.isend(1, "tag5-payload", tag=5)
+        e0.isend(1, "tag3-payload", tag=3)
+        time.sleep(0.1)
+        # recvs posted in the *opposite* order still match by tag
+        h3 = e1.irecv(0, tag=3)
+        h5 = e1.irecv(0, tag=5)
+        assert e1.execute(e1.waitall(h3, h5)) == ["tag3-payload",
+                                                 "tag5-payload"]
+
+    def test_same_tag_matches_fifo(self):
+        e0, e1 = self._loopback_env()
+        for i in range(5):
+            e0.isend(1, f"msg{i}", tag=9)
+        handles = [e1.irecv(0, tag=9) for _ in range(5)]
+        assert e1.execute(e1.waitall(*handles)) == [f"msg{i}"
+                                                   for i in range(5)]
+
+    def test_single_recv_returns_bare_payload(self):
+        e0, e1 = self._loopback_env()
+        e0.isend(1, 42, tag=0)
+        assert e1.execute(e1.recv(0, tag=0)) == 42
+
+    def test_peer_range_checked(self):
+        e0, _ = self._loopback_env()
+        with pytest.raises(ValueError, match="out of range"):
+            e0.isend(5, b"x")
+        with pytest.raises(ValueError, match="out of range"):
+            e0.irecv(-1)
+
+
+class TestAcrossProcesses:
+    """The same guarantees over real forked rank processes."""
+
+    @pytest.mark.parametrize("transport", ["local", "tcp"])
+    def test_interleaved_tags_across_processes(self, transport):
+        def prog(env):
+            if env.rank == 0:
+                for i in range(20):
+                    env.isend(1, (i, "a"), tag=i % 2)
+                yield env.delay(0.0)
+                return None
+            a = [env.irecv(0, tag=0) for _ in range(10)]
+            b = [env.irecv(0, tag=1) for _ in range(10)]
+            got = yield env.waitall(a, b)
+            return got
+
+        m = ProcessMachine(2, transport=transport, timeout=20)
+        res = m.run(prog)
+        got = res.results[1]
+        assert [v for v, _ in got[:10]] == list(range(0, 20, 2))
+        assert [v for v, _ in got[10:]] == list(range(1, 20, 2))
+
+    def test_simultaneous_large_exchange_no_deadlock(self):
+        # Both ranks eagerly send ~4 MB before posting their receives:
+        # deadlocks unless sends are buffered off the pipe.
+        def prog(env):
+            other = 1 - env.rank
+            big = np.full(512 * 1024, float(env.rank + 1))
+            h = env.isend(other, big, tag=0)
+            got = yield env.waitall(h, env.irecv(other, tag=0))
+            return float(got[1][0])
+
+        res = ProcessMachine(2, timeout=30).run(prog)
+        assert res.results[0] == 2.0 and res.results[1] == 1.0
