@@ -327,3 +327,9 @@ def run_case(topo_name: str, op: str, profile: str, seed: int) -> dict:
             record["corrupt_ranks"] = []
             record["time_drift"] = (repr(t_clean), repr(run.time))
     return record
+
+
+def run_case_entry(case: tuple) -> dict:
+    """Picklable single-argument adapter for the parallel sweep driver:
+    ``case`` is one ``(topo, op, profile, seed)`` grid entry."""
+    return run_case(*case)

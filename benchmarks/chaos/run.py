@@ -30,7 +30,7 @@ import os
 import sys
 import time
 
-from .cases import ALLOWED, GRIDS, case_id, run_case
+from .cases import ALLOWED, GRIDS, case_id, run_case, run_case_entry
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(os.path.dirname(_HERE))
@@ -71,16 +71,29 @@ def main(argv=None) -> int:
                     help="exit nonzero if any gate fails")
     ap.add_argument("--verbose", action="store_true",
                     help="print one line per case as it runs")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="shard the grid across this many processes "
+                         "(schedules are string-seeded per case, and the "
+                         "merge preserves grid order, so the report is "
+                         "identical to a serial run; default serial)")
     args = ap.parse_args(argv)
 
     cases = GRIDS[args.grid]
     t0 = time.perf_counter()
-    records = []
-    for topo, op, profile, seed in cases:
-        rec = run_case(topo, op, profile, seed)
-        records.append(rec)
+    if args.workers is not None and args.workers != 1:
+        from repro.analysis.parallel import parallel_map
+        records = parallel_map(run_case_entry, cases,
+                               workers=args.workers)
         if args.verbose:
-            print(f"  {rec['id']:50s} {rec['outcome']}", flush=True)
+            for rec in records:
+                print(f"  {rec['id']:50s} {rec['outcome']}", flush=True)
+    else:
+        records = []
+        for topo, op, profile, seed in cases:
+            rec = run_case(topo, op, profile, seed)
+            records.append(rec)
+            if args.verbose:
+                print(f"  {rec['id']:50s} {rec['outcome']}", flush=True)
     wall = time.perf_counter() - t0
 
     summary = evaluate(records)

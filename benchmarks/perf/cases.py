@@ -170,3 +170,10 @@ def run_case(op: str, p: int, nbytes: int,
         if "flows" in stats:
             out["flows_per_s"] = stats["flows"] / best
     return out
+
+
+def run_case_entry(task: Tuple[str, int, int, Optional[int]]) -> Dict[str, float]:
+    """Picklable single-argument adapter for the parallel sweep driver:
+    ``task`` is ``(op, p, nbytes, repeats)``."""
+    op, p, nbytes, repeats = task
+    return run_case(op, p, nbytes, repeats=repeats)

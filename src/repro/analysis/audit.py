@@ -224,19 +224,58 @@ def audit_cell(operation: str, shape: Tuple, n: int, params) -> CellResult:
         candidates=tuple(results))
 
 
+def grid_tasks(grid: Dict[str, tuple]) -> List[Tuple[str, Tuple, int]]:
+    """The grid's cells as ``(operation, shape, n)`` tuples, in the
+    canonical sweep order (operations, then shapes, then lengths) —
+    the merge order of both the serial and the parallel sweep."""
+    return [(operation, shape, n)
+            for operation in grid["operations"]
+            for shape in grid["shapes"]
+            for n in grid["lengths"]]
+
+
 def run_sweep(grid: Dict[str, tuple], params,
               progress=None) -> List[CellResult]:
     """All cells of a grid; ``progress(msg)`` is called per cell."""
     cells: List[CellResult] = []
-    for operation in grid["operations"]:
-        for shape in grid["shapes"]:
-            for n in grid["lengths"]:
-                cell = audit_cell(operation, shape, n, params)
-                if progress is not None:
-                    progress(f"{operation} {shape} n={n}: "
-                             f"{len(cell.candidates)} candidates, "
-                             f"regret={cell.regret:.3f}")
-                cells.append(cell)
+    for operation, shape, n in grid_tasks(grid):
+        cell = audit_cell(operation, shape, n, params)
+        if progress is not None:
+            progress(f"{operation} {shape} n={n}: "
+                     f"{len(cell.candidates)} candidates, "
+                     f"regret={cell.regret:.3f}")
+        cells.append(cell)
+    return cells
+
+
+def _sweep_cell(task: Tuple[str, Tuple, int, str]) -> CellResult:
+    """Picklable worker for the parallel sweep: one grid cell, with
+    the params rebuilt from the preset name inside the worker."""
+    operation, shape, n, params_name = task
+    from ..sim.params import preset
+    return audit_cell(operation, shape, n, preset(params_name))
+
+
+def run_sweep_parallel(grid: Dict[str, tuple], params_name: str,
+                       workers: Optional[int] = None,
+                       progress=None) -> List[CellResult]:
+    """Shard :func:`run_sweep` over worker processes.
+
+    Every cell is a pure function of ``(operation, shape, n,
+    params_name)`` — each worker builds its own machine — and the
+    results are merged in canonical sweep order, so the output is
+    identical to the serial :func:`run_sweep` for any worker count
+    (the determinism contract pinned by tests/analysis/test_parallel.py).
+    """
+    from .parallel import parallel_map
+    tasks = [(operation, shape, n, params_name)
+             for operation, shape, n in grid_tasks(grid)]
+    cells = parallel_map(_sweep_cell, tasks, workers=workers)
+    if progress is not None:
+        for cell in cells:
+            progress(f"{cell.operation} {cell.shape} n={cell.n}: "
+                     f"{len(cell.candidates)} candidates, "
+                     f"regret={cell.regret:.3f}")
     return cells
 
 
@@ -265,7 +304,8 @@ def _regret_stats(cells: Sequence[CellResult]) -> Dict[str, float]:
 
 
 def build_audit(grid_name="smoke", params_name: str = "paragon",
-                progress=None) -> Dict[str, object]:
+                progress=None,
+                workers: Optional[int] = None) -> Dict[str, object]:
     """Run the full model audit and return the JSON-ready report.
 
     Sections: the regret sweep over ``GRIDS[grid_name]`` (``grid_name``
@@ -282,7 +322,11 @@ def build_audit(grid_name="smoke", params_name: str = "paragon",
 
     params = preset(params_name)
     grid = GRIDS[grid_name] if isinstance(grid_name, str) else grid_name
-    cells = run_sweep(grid, params, progress=progress)
+    if workers is not None and workers != 1:
+        cells = run_sweep_parallel(grid, params_name, workers=workers,
+                                   progress=progress)
+    else:
+        cells = run_sweep(grid, params, progress=progress)
 
     verdicts = []
     for p in CONFLICT_PS:
@@ -387,10 +431,11 @@ def write_report(report: Dict[str, object], path: str) -> str:
 
 def main(grid: str = "smoke", params_name: str = "paragon",
          out_path: str = "AUDIT_model.json", do_check: bool = False,
-         verbose: bool = True) -> int:
+         verbose: bool = True, workers: Optional[int] = None) -> int:
     """CLI body for ``python -m repro.analysis.report --audit``."""
     progress = print if verbose else None
-    report = build_audit(grid, params_name, progress=progress)
+    report = build_audit(grid, params_name, progress=progress,
+                         workers=workers)
     write_report(report, out_path)
     print(render(report))
     print(f"wrote {out_path}")

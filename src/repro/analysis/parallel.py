@@ -1,0 +1,130 @@
+"""Deterministic multiprocess sweep driver.
+
+The chaos grid (210 cases), the conformance matrix (216 cases), the
+selection-regret sweep (120 cells), and the perf harness are all
+embarrassingly parallel: every cell is a pure function of its
+parameters (each worker builds its own simulator, seeded per shard), so
+the only thing parallelism can get wrong is *ordering* and *failure
+reporting*.  This module fixes both by construction:
+
+* **Deterministic merge** — results are returned in submission order,
+  whatever order the workers finish in, so a sweep over ``k`` workers is
+  byte-identical to the serial sweep (``workers=1`` short-circuits to a
+  plain in-process loop, which is also the comparison baseline for the
+  determinism tests).
+* **Typed failure** — a shard that raises is re-raised as
+  :class:`ShardError` naming the shard; a worker process that *dies*
+  (OOM kill, segfault, ``os._exit``) surfaces as a :class:`ShardError`
+  too, instead of the bare ``BrokenProcessPool`` (or, worse, a hang)
+  that ``multiprocessing.Pool.map`` can produce.
+
+Workers are plain top-level functions (picklable by requirement); the
+pool uses the ``fork`` start method where available so numpy-heavy
+imports are not repaid per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ShardError", "default_workers", "parallel_map"]
+
+
+class ShardError(RuntimeError):
+    """One shard of a parallel sweep failed.
+
+    ``index`` is the shard's position in the submitted sequence and
+    ``item`` its input, so the failing cell can be re-run serially;
+    ``cause`` carries the original exception when the worker lived long
+    enough to raise one (``None`` when the process died outright).
+    """
+
+    def __init__(self, index: int, item: object, cause: Optional[BaseException]):
+        self.index = index
+        self.item = item
+        self.cause = cause
+        if cause is None:
+            detail = "worker process died before returning"
+        else:
+            detail = f"{type(cause).__name__}: {cause}"
+        super().__init__(f"shard {index} ({item!r}) failed: {detail}")
+
+
+def default_workers() -> int:
+    """Worker count when the caller passes ``workers=None``: the
+    ``REPRO_WORKERS`` env var, else the CPU count."""
+    try:
+        return max(1, int(os.environ["REPRO_WORKERS"]))
+    except (KeyError, ValueError):
+        return os.cpu_count() or 1
+
+
+def _run_serial(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    out = []
+    for i, item in enumerate(items):
+        try:
+            out.append(fn(item))
+        except Exception as exc:
+            raise ShardError(i, item, exc) from exc
+    return out
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None) -> List[R]:
+    """Map ``fn`` over ``items`` across worker processes.
+
+    Results come back in input order regardless of completion order, so
+    the merge is deterministic.  ``workers=1`` (or a single item) runs
+    serially in-process — same results, no pool.  ``workers=None``
+    takes :func:`default_workers`.
+
+    Raises :class:`ShardError` as soon as any shard fails — including
+    when a worker process dies without raising — after cancelling the
+    shards not yet started.  ``timeout`` (seconds) bounds the wait for
+    each next shard completion; a stuck worker then surfaces as
+    ``TimeoutError`` rather than a silent hang.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(items)) if items else 1
+    if workers <= 1 or len(items) <= 1:
+        return _run_serial(fn, items)
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        index_of = {f: i for i, f in enumerate(futures)}
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                if not done:
+                    raise TimeoutError(
+                        f"parallel sweep stalled: {len(pending)} of "
+                        f"{len(items)} shards still pending after "
+                        f"{timeout}s")
+                for f in done:
+                    exc = f.exception()
+                    if exc is not None:
+                        i = index_of[f]
+                        if isinstance(exc, BrokenProcessPool):
+                            raise ShardError(i, items[i], None) from exc
+                        raise ShardError(i, items[i], exc) from exc
+        finally:
+            for f in futures:
+                f.cancel()
+        return [f.result() for f in futures]

@@ -250,9 +250,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "or median regret above the gate")
         ap.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
+        ap.add_argument("--workers", type=int, default=None,
+                        help="shard the regret sweep across this many "
+                             "processes (deterministic merge; default "
+                             "serial)")
         ns = ap.parse_args(argv)
         return audit_main(ns.grid, ns.params, ns.out, ns.check,
-                          verbose=not ns.quiet)
+                          verbose=not ns.quiet, workers=ns.workers)
     if "--trace" in argv:
         import argparse
         ap = argparse.ArgumentParser(

@@ -1,0 +1,286 @@
+"""Differential conformance: scalar vs vectorized fluid-network fill.
+
+:mod:`repro.sim.network` carries two interchangeable progressive-filling
+inner loops — the original scalar walk (kept behind ``REPRO_SIM_SCALAR=1``)
+and the flat-array vectorized one.  The contract is *bit-identity*: same
+rates, same completion instants, same event and recomputation counts, so
+the dispatch threshold is purely a performance knob.  This suite pins
+that contract three ways:
+
+* every golden-corpus entry, run in both modes with the vectorized path
+  forced onto **every** component (``REPRO_SIM_VEC_MIN=0``), must agree
+  on the full fingerprint plus the engine/network counters;
+* the op x algorithm x p x group-shape conformance matrix must agree
+  the same way (a deterministic slice in tier-1; the whole 216-case
+  matrix under ``REPRO_SIM_DIFF_FULL=1``, set by the CI job);
+* hypothesis-generated random flow patterns, plus the degenerate
+  components (single flow, zero capacity) where the fast paths and
+  defensive branches live.
+
+Env handling: the network reads ``REPRO_SIM_SCALAR`` / ``REPRO_SIM_VEC_MIN``
+at construction, so each mode gets a fresh machine via monkeypatch.
+"""
+
+import math
+import os
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (FullyConnected, Hypercube, LinearArray, Machine,
+                       Mesh2D, Torus2D, UNIT)
+from repro.sim.network import FluidNetwork
+from tests.core import test_conformance_matrix as matrix
+from tests.sim import spmd_corpus as corpus
+
+
+def _counters(run):
+    return {
+        "events": run.events,
+        "flows": run.flows,
+        "messages": run.messages,
+        "rate_recomputations": run.rate_recomputations,
+    }
+
+
+def _run_both(monkeypatch, thunk):
+    """Run ``thunk`` once per mode and return both outcomes.
+
+    Scalar mode: ``REPRO_SIM_SCALAR=1``.  Vectorized mode: default
+    dispatch with the size threshold forced to zero, so *every*
+    multi-flow component exercises the flat-array loop, not just the
+    ones past the perf crossover.
+    """
+    monkeypatch.setenv("REPRO_SIM_SCALAR", "1")
+    monkeypatch.delenv("REPRO_SIM_VEC_MIN", raising=False)
+    scalar = thunk()
+    monkeypatch.delenv("REPRO_SIM_SCALAR")
+    monkeypatch.setenv("REPRO_SIM_VEC_MIN", "0")
+    vectorized = thunk()
+    return scalar, vectorized
+
+
+# ----------------------------------------------------------------------
+# golden corpus, both modes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(corpus.CORPUS))
+def test_corpus_entry_bit_identical(name, monkeypatch):
+    def thunk():
+        run = corpus.run_entry(name)
+        return corpus.fingerprint(run), _counters(run), \
+            corpus.trace_stream(run)
+
+    (fp_s, ct_s, tr_s), (fp_v, ct_v, tr_v) = _run_both(monkeypatch, thunk)
+    assert fp_v == fp_s, (
+        f"corpus entry {name!r}: vectorized fingerprint diverged from "
+        "scalar — the two fills are no longer bit-identical")
+    assert ct_v == ct_s, f"corpus entry {name!r}: counters diverged"
+    # order-preserving stream, stronger than the order-insensitive hash
+    assert tr_v == tr_s
+
+
+# ----------------------------------------------------------------------
+# conformance matrix, both modes
+# ----------------------------------------------------------------------
+
+_MATRIX_CASES = [(op, alg, p, shape)
+                 for op, alg in matrix.CASES
+                 for p in matrix.P_VALUES
+                 for shape in matrix.SHAPES]
+
+if os.environ.get("REPRO_SIM_DIFF_FULL"):
+    _DIFF_CASES = _MATRIX_CASES
+else:
+    # deterministic tier-1 slice: every 6th case covers each operation,
+    # algorithm, group size, and shape at least once in ~1/6 the time
+    _DIFF_CASES = _MATRIX_CASES[::6]
+
+
+@pytest.mark.parametrize(
+    "op,alg,p,shape", _DIFF_CASES,
+    ids=[f"{o}-{a or 'mst'}-p{p}-{s}" for o, a, p, s in _DIFF_CASES])
+def test_matrix_case_bit_identical(op, alg, p, shape, monkeypatch):
+    g = matrix._group(shape, p)
+
+    def thunk():
+        run, _sizes = matrix._run_on_group(op, alg, g)
+        blobs = [None if r is None else r.tobytes()
+                 for r in run.results]
+        return repr(run.time), blobs, _counters(run)
+
+    scalar, vectorized = _run_both(monkeypatch, thunk)
+    assert vectorized == scalar, (op, alg, p, shape)
+
+
+# ----------------------------------------------------------------------
+# random flow patterns (hypothesis) and degenerate components
+# ----------------------------------------------------------------------
+
+_TOPOLOGIES = [
+    LinearArray(8), Mesh2D(3, 4), Mesh2D(4, 4), Torus2D(3, 4),
+    Hypercube(4), FullyConnected(8),
+]
+
+
+def _run_pattern(topology, capacity, sends):
+    """Concurrent point-to-point pattern; returns exact observables."""
+    machine = Machine(topology, UNIT.with_(link_capacity=capacity),
+                      trace=True)
+    by_src = {}
+    by_dst = {}
+    for s, d, n in sends:
+        by_src.setdefault(s, []).append((d, n))
+        by_dst.setdefault(d, []).append(s)
+
+    def prog(env):
+        reqs = []
+        for d, n in by_src.get(env.rank, []):
+            reqs.append(env.isend(d, np.zeros(int(n), dtype=np.uint8)))
+        for s in by_dst.get(env.rank, []):
+            reqs.append(env.irecv(s))
+        if reqs:
+            yield env.waitall(*reqs)
+
+    run = machine.run(prog)
+    completions = [(r.src, r.dst, repr(r.t_complete))
+                   for r in run.trace.completed()]
+    return repr(run.time), completions, _counters(run)
+
+
+@st.composite
+def _patterns(draw):
+    topo = _TOPOLOGIES[draw(st.integers(0, len(_TOPOLOGIES) - 1))]
+    n = topo.nnodes
+    raw = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.sampled_from([16, 128, 777, 2048, 30_000])),
+        min_size=2, max_size=16))
+    seen = set()
+    sends = []
+    for s, d, nb in raw:
+        if s != d and (s, d) not in seen:
+            seen.add((s, d))
+            sends.append((s, d, nb))
+    capacity = draw(st.sampled_from([1.0, 2.0, 4.0]))
+    return topo, capacity, sends
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=_patterns())
+def test_property_vectorized_equals_scalar_fixed_point(pattern):
+    """Random concurrent flows: rates, completion order, settle times
+    and all counters must be exactly equal in both modes (no approx —
+    the vectorized fill is the same IEEE arithmetic re-ordered only
+    where re-ordering is value-preserving)."""
+    topo, capacity, sends = pattern
+    if not sends:
+        return
+    os.environ["REPRO_SIM_SCALAR"] = "1"
+    os.environ.pop("REPRO_SIM_VEC_MIN", None)
+    try:
+        scalar = _run_pattern(topo, capacity, sends)
+    finally:
+        del os.environ["REPRO_SIM_SCALAR"]
+    os.environ["REPRO_SIM_VEC_MIN"] = "0"
+    try:
+        vectorized = _run_pattern(topo, capacity, sends)
+    finally:
+        del os.environ["REPRO_SIM_VEC_MIN"]
+    assert vectorized == scalar, (topo, capacity, sends)
+
+
+def _direct_network(monkeypatch, scalar: bool):
+    if scalar:
+        monkeypatch.setenv("REPRO_SIM_SCALAR", "1")
+        monkeypatch.delenv("REPRO_SIM_VEC_MIN", raising=False)
+    else:
+        monkeypatch.delenv("REPRO_SIM_SCALAR", raising=False)
+        monkeypatch.setenv("REPRO_SIM_VEC_MIN", "0")
+    return FluidNetwork(FullyConnected(9), UNIT,
+                        schedule=lambda t, cb: None,
+                        complete=lambda tok, t: None)
+
+
+def test_single_flow_component_identical(monkeypatch):
+    """A singleton component takes the fast path in both modes — the
+    rate must equal the route's min capacity either way."""
+    rates = {}
+    for mode in ("scalar", "vectorized"):
+        net = _direct_network(monkeypatch, scalar=(mode == "scalar"))
+        f = net.start_flow(0, 1, 1000.0, 0.0, object())
+        rates[mode] = f.rate
+    assert rates["vectorized"] == rates["scalar"] == 1.0
+
+
+def test_zero_capacity_component_identical(monkeypatch):
+    """Zero-capacity resources (a channel slowed by an infinite factor)
+    must produce identical — zero — rates, not a division blow-up."""
+    rates = {}
+    for mode in ("scalar", "vectorized"):
+        net = _direct_network(monkeypatch, scalar=(mode == "scalar"))
+        flows = [net.start_flow(s, 8, 1000.0, 0.0, object())
+                 for s in range(4)]
+        for s in range(4):
+            net.apply_slowdown(s, 8, math.inf, 0.0)  # cap -> 0.0
+        rates[mode] = [f.rate for f in flows]
+    assert rates["vectorized"] == rates["scalar"]
+    assert all(r == 0.0 for r in rates["vectorized"])
+
+
+def test_shared_bottleneck_exact_shares(monkeypatch):
+    """k flows into one ejection port: both modes give exactly cap/k
+    (the same IEEE quotient, not an approximation)."""
+    for k in (2, 3, 5, 7):
+        rates = {}
+        for mode in ("scalar", "vectorized"):
+            net = _direct_network(monkeypatch, scalar=(mode == "scalar"))
+            flows = [net.start_flow(s, 8, 1000.0, 0.0, object())
+                     for s in range(k)]
+            rates[mode] = [f.rate for f in flows]
+        assert rates["vectorized"] == rates["scalar"] == [1.0 / k] * k
+
+
+def test_threshold_dispatch_is_bit_identical(monkeypatch):
+    """The production default (hybrid dispatch at the size threshold)
+    must agree with pure-scalar on a mixed pattern — the threshold is
+    a perf knob, never a semantics knob."""
+    name = "allreduce-auto-mesh4x6"
+    monkeypatch.setenv("REPRO_SIM_SCALAR", "1")
+    want = corpus.fingerprint(corpus.run_entry(name))
+    monkeypatch.delenv("REPRO_SIM_SCALAR")
+    for threshold in ("0", "2", "8"):
+        monkeypatch.setenv("REPRO_SIM_VEC_MIN", threshold)
+        got = corpus.fingerprint(corpus.run_entry(name))
+        assert got == want, f"threshold {threshold} changed results"
+    monkeypatch.delenv("REPRO_SIM_VEC_MIN")
+
+
+def test_random_seeded_degenerate_small_components(monkeypatch):
+    """Brute seeded sweep of tiny random patterns (including repeated
+    (src, dst) resources and staggered capacities via slowdowns) —
+    cheap insurance beyond hypothesis shrinking."""
+    for seed in range(10):
+        rng = random.Random(seed)
+        sends = []
+        seen = set()
+        for _ in range(rng.randint(1, 8)):
+            s, d = rng.randrange(9), rng.randrange(9)
+            if s != d and (s, d) not in seen:
+                seen.add((s, d))
+                sends.append((s, d))
+        slow = [(u, v, 1.0 + rng.random() * 3)
+                for (u, v) in list(seen)[: rng.randint(0, len(seen))]]
+        rates = {}
+        for mode in ("scalar", "vectorized"):
+            net = _direct_network(monkeypatch, scalar=(mode == "scalar"))
+            flows = [net.start_flow(s, d, 500.0, 0.0, object())
+                     for s, d in sends]
+            for u, v, factor in slow:
+                net.apply_slowdown(u, v, factor, 0.0)
+            rates[mode] = [f.rate for f in flows]
+        assert rates["vectorized"] == rates["scalar"], (seed, sends, slow)
