@@ -5,28 +5,37 @@ Usage (from the repo root)::
     PYTHONPATH=src python -m benchmarks.runtime.run               # full
     PYTHONPATH=src python -m benchmarks.runtime.run --grid smoke  # CI
     PYTHONPATH=src python -m benchmarks.runtime.run --transport tcp
+    PYTHONPATH=src python -m benchmarks.runtime.run --check       # gate
 
-Two experiments, both timed *inside* the rank programs (wall clock
-around the message loop, excluding process spawn and mesh wiring):
+Two experiments:
 
-* **ping-pong** between two rank processes over a range of message
-  lengths — the classic alpha/beta characterization (section 11 of the
-  paper, :mod:`repro.analysis.calibrate`): half round-trip time is
-  ``alpha + n * beta``, so a least-squares line through the samples
-  yields the *measured* latency and inverse bandwidth of this host's
-  transport.  The report stores the fit next to the configured
-  simulator presets — the measured-vs-modelled table of
-  docs/runtime.md;
-* **collective wall times** on four ranks — per-operation mean wall
-  seconds, next to the simulator's *predicted* time for the same
-  collective under the fitted params (the model applied to the machine
-  the measurement says we have).
+* **calibration pass** (:mod:`repro.runtime.profile`): ping-pong probes
+  at three concurrency levels (plain, disjoint pairs, full ring),
+  repeated trials reduced by a deterministic aggregator, gamma from
+  real ``np.add``, per-request overhead — fitted into this host's
+  persisted :class:`~repro.runtime.profile.MachineProfile`;
+* **collective wall times** on four ranks — per-operation wall seconds
+  (median over repeated trials of the slowest rank's timed loop), next
+  to the simulator's *predicted* time for the same collective under the
+  **fitted profile** (the model applied to the machine the measurement
+  says we have).
 
-The fitted constants describe pickled frames over pipes/sockets on one
-host, not a wormhole-routed mesh — expect alpha orders of magnitude
-above the Paragon's 100 us and per-byte cost dominated by pickling.
-That gap is the point: the paper's porting procedure ("enter a few
-parameters that describe the system") applied to the machine at hand.
+Two calibration bugs this harness used to have, both fixed here and
+regression-relevant:
+
+* the predicted time came from a simulated run of the *same rank
+  program*, whose wall-clock timer starts after the barrier — but the
+  simulator's ``run().time`` included the barrier, inflating every
+  prediction by ~4 alpha;
+* the measuring :class:`ProcessMachine` ran with ``params=None`` (the
+  fixed-threshold auto fallback) while the predictor simulated with the
+  fitted constants, so for lengths near the crossover the two backends
+  executed *different strategies*.  The machine now carries the fitted
+  profile, so auto dispatch resolves identically on both sides.
+
+``--check`` gates the wall/predicted ratios: the median over the
+collective grid must land in ``[0.5, 2.0]`` — the fitted model must
+track live hardware within 2x where the 1994 presets sat at 1.9-4x.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ import argparse
 import json
 import os
 import platform
+import socket
+import statistics
 import sys
 import time
 
@@ -44,76 +55,66 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(os.path.dirname(_HERE))
 DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_runtime.json")
 
+#: the --check gate: median wall/predicted ratio must land inside
+RATIO_GATE = (0.5, 2.0)
+
 GRIDS = {
-    "smoke": {"lengths": [0, 1024, 65536], "pingpong_reps": 20,
-              "coll_ns": [1024], "coll_reps": 5},
-    "full": {"lengths": [0, 64, 1024, 16384, 262144, 1048576],
-             "pingpong_reps": 50, "coll_ns": [1024, 65536],
-             "coll_reps": 20},
+    "smoke": {"pingpong_reps": 15, "pingpong_trials": 2,
+              "coll_ns": [1024], "coll_reps": 5, "coll_trials": 3},
+    "full": {"pingpong_reps": 20, "pingpong_trials": 3,
+             "coll_ns": [1024, 65536], "coll_reps": 5, "coll_trials": 5},
 }
 
 COLLECTIVES = ["bcast", "allreduce", "collect", "reduce_scatter"]
 _COLL_P = 4
 
 
-def _pingpong_prog(nbytes, reps):
-    def prog(env):
-        payload = np.zeros(int(nbytes), dtype=np.uint8)
-        other = 1 - env.rank
-        if env.rank == 0:
-            yield env.send(other, payload)      # warm the path
-            yield env.recv(other)
-            t0 = time.perf_counter()
-            for _ in range(reps):
-                yield env.send(other, payload)
-                yield env.recv(other)
-            elapsed = time.perf_counter() - t0
-            return elapsed / (2.0 * reps)       # half round trip
-        got = yield env.recv(other)
-        yield env.send(other, got)
-        for _ in range(reps):
-            got = yield env.recv(other)
-            yield env.send(other, got)
-        return None
-    return prog
+def _collective_body(env, op, n, me, sizes):
+    from repro.core import api
+    if op == "bcast":
+        buf = np.arange(n, dtype=np.float64) if me == 0 else None
+        yield from api.bcast(env, buf, root=0, total=n)
+    elif op == "allreduce":
+        yield from api.allreduce(env, np.arange(n, dtype=np.float64) + me)
+    elif op == "collect":
+        blk = np.arange(sizes[me], dtype=np.float64) + me
+        yield from api.collect(env, blk, sizes=sizes)
+    elif op == "reduce_scatter":
+        yield from api.reduce_scatter(
+            env, np.arange(n, dtype=np.float64) + me, sizes=sizes)
+    else:  # pragma: no cover
+        raise AssertionError(op)
 
 
 def _collective_prog(op, n, reps):
+    """Timed rank program: barrier, then ``reps`` collectives around a
+    wall clock.  Returns mean seconds per collective."""
     def prog(env):
         from repro.core import api
         from repro.core.partition import partition_sizes
         sizes = partition_sizes(n, env.nranks)
-        v = np.arange(n, dtype=np.float64) + env.rank
-        blk = np.arange(sizes[env.rank], dtype=np.float64) + env.rank
         yield from api.barrier(env)
         t0 = time.perf_counter()
         for _ in range(reps):
-            if op == "bcast":
-                buf = v if env.rank == 0 else None
-                yield from api.bcast(env, buf, root=0, total=n)
-            elif op == "allreduce":
-                yield from api.allreduce(env, v)
-            elif op == "collect":
-                yield from api.collect(env, blk, sizes=sizes)
-            elif op == "reduce_scatter":
-                yield from api.reduce_scatter(env, v, sizes=sizes)
-            else:  # pragma: no cover
-                raise AssertionError(op)
+            yield from _collective_body(env, op, n, env.rank, sizes)
         return (time.perf_counter() - t0) / reps
     return prog
 
 
-def measure_pingpong(machine, lengths, reps):
-    """Measured (bytes, half-round-trip seconds) per message length."""
-    samples = []
-    for nbytes in lengths:
-        res = machine.run(_pingpong_prog(nbytes, reps), ranks=[0, 1])
-        samples.append((int(nbytes), float(res.results[0])))
-    return samples
+def _collective_only_prog(op, n):
+    """Prediction program: exactly one collective, **no barrier** — the
+    simulated time must cover what the measured wall clock covers."""
+    def prog(env):
+        from repro.core.partition import partition_sizes
+        sizes = partition_sizes(n, env.nranks)
+        yield from _collective_body(env, op, n, env.rank, sizes)
+    return prog
 
 
-def measure_collectives(machine, ns, reps, fitted_params):
-    """Per-collective mean wall seconds and the model's prediction."""
+def measure_collectives(machine, ns, reps, trials, fitted_params):
+    """Per-collective wall seconds (median of trials of the slowest
+    rank) and the fitted model's barrier-free prediction."""
+    from repro.analysis.calibrate import trial_spread
     from repro.core.topology import LinearArray
     from repro.sim import Machine
 
@@ -121,21 +122,37 @@ def measure_collectives(machine, ns, reps, fitted_params):
     predictor = Machine(LinearArray(_COLL_P), fitted_params)
     for op in COLLECTIVES:
         for n in ns:
-            res = machine.run(_collective_prog(op, n, reps))
-            wall = max(t for t in res.results if t is not None)
-            predicted = predictor.run(_collective_prog(op, n, 1)).time
+            raw = []
+            for _ in range(trials):
+                res = machine.run(_collective_prog(op, n, reps))
+                raw.append(max(t for t in res.results if t is not None))
+            wall = statistics.median(raw)
+            predicted = predictor.run(_collective_only_prog(op, n)).time
             out[f"{op}/p{_COLL_P}/n{n}"] = {
                 "wall_s": wall,
+                "wall_trials": [float(t) for t in raw],
+                "wall_spread": trial_spread(raw),
                 "predicted_s": predicted,
                 "ratio": wall / predicted if predicted > 0 else None,
             }
     return out
 
 
+def ratio_stats(collectives: dict) -> dict:
+    ratios = sorted(e["ratio"] for e in collectives.values()
+                    if e["ratio"] is not None)
+    if not ratios:
+        return {"count": 0}
+    return {"count": len(ratios), "median": statistics.median(ratios),
+            "min": ratios[0], "max": ratios[-1],
+            "gate": list(RATIO_GATE)}
+
+
 def main(argv=None) -> int:
-    from repro.analysis.calibrate import fit_alpha_beta
     from repro.core.params import PRESETS
+    from repro.core.topology import LinearArray
     from repro.runtime import ProcessMachine
+    from repro.runtime.profile import ensure_profile
 
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--grid", choices=sorted(GRIDS), default="full")
@@ -143,56 +160,97 @@ def main(argv=None) -> int:
                     default="local")
     ap.add_argument("--output", default=DEFAULT_OUTPUT,
                     help="where to write the JSON report")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero unless the median wall/predicted "
+                         f"ratio lands in {list(RATIO_GATE)}")
+    ap.add_argument("--recalibrate", action="store_true",
+                    help="force a fresh calibration pass even if a "
+                         "usable profile is stored")
     args = ap.parse_args(argv)
     grid = GRIDS[args.grid]
 
-    print(f"# ping-pong over {args.transport} transport")
-    pp_machine = ProcessMachine(2, transport=args.transport, timeout=300)
-    samples = measure_pingpong(pp_machine, grid["lengths"],
-                               grid["pingpong_reps"])
-    alpha, beta = fit_alpha_beta(samples)
-    for nbytes, t in samples:
-        print(f"  {nbytes:>8} B  {t * 1e6:10.1f} us")
-    print(f"  fitted alpha = {alpha * 1e6:.1f} us, "
-          f"beta = {beta * 1e9:.3f} ns/B "
-          f"({1.0 / beta / 1e6:.1f} MB/s)" if beta > 0 else
-          f"  fitted alpha = {alpha * 1e6:.1f} us, beta = 0")
+    print(f"# calibration pass over {args.transport} transport")
+    profile = ensure_profile(transport=args.transport,
+                             force=args.recalibrate,
+                             reps=grid["pingpong_reps"],
+                             trials=grid["pingpong_trials"],
+                             progress=lambda m: print(f"  {m}"))
+    fitted = profile.params
+    probes = profile.provenance["probes"]
+    plain = probes["uncontended"]
+    for s in plain["samples"]:
+        print(f"  {s['nbytes']:>8} B  {s['value'] * 1e6:10.1f} us "
+              f"(spread {s['spread'] * 100:.1f}%)")
+    for name in ("uncontended", "pairs", "ring"):
+        fit = probes[name]["fit"]
+        print(f"  {name:<12} fit: alpha = {fit['alpha_s'] * 1e6:.1f} us, "
+              f"beta = {fit['beta_s_per_byte'] * 1e9:.3f} ns/B")
+    print(f"  effective (pooled contended): "
+          f"alpha = {fitted.alpha * 1e6:.1f} us, "
+          f"beta = {fitted.beta * 1e9:.3f} ns/B"
+          + (f" ({1.0 / fitted.beta / 1e6:.1f} MB/s)"
+             if fitted.beta > 0 else ""))
 
-    # predict collectives with the *fitted* machine description
-    from repro.core.params import MachineParams
-    fitted = MachineParams(alpha=alpha, beta=beta, gamma=1e-9,
-                           sw_overhead=0.0, link_capacity=1.0)
-    print(f"# collectives on {_COLL_P} ranks")
-    coll_machine = ProcessMachine(_COLL_P, transport=args.transport,
-                                  timeout=300)
+    # the measuring machine carries the fitted profile: auto dispatch
+    # resolves the same strategy the predictor simulates
+    print(f"# collectives on {_COLL_P} ranks (fitted profile pricing)")
+    coll_machine = ProcessMachine(_COLL_P, params=fitted,
+                                  topology=LinearArray(_COLL_P),
+                                  transport=args.transport, timeout=300)
     collectives = measure_collectives(coll_machine, grid["coll_ns"],
-                                      grid["coll_reps"], fitted)
+                                      grid["coll_reps"],
+                                      grid["coll_trials"], fitted)
     for cid, entry in collectives.items():
         print(f"  {cid:<28} {entry['wall_s'] * 1e6:10.1f} us wall, "
-              f"{entry['predicted_s'] * 1e6:10.1f} us predicted")
+              f"{entry['predicted_s'] * 1e6:10.1f} us predicted, "
+              f"ratio {entry['ratio']:.2f}")
+    stats = ratio_stats(collectives)
 
     report = {
         "meta": {
             "transport": args.transport,
             "grid": args.grid,
+            "host": socket.gethostname(),
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
+        "profile": profile.to_json(),
         "pingpong": {
             "reps": grid["pingpong_reps"],
-            "samples": [[n, t] for n, t in samples],
-            "fitted": {"alpha_s": alpha, "beta_s_per_byte": beta},
+            "trials": grid["pingpong_trials"],
+            "samples": [[s["nbytes"], s["value"]]
+                        for s in plain["samples"]],
+            "fitted": plain["fit"],
+            "fitted_effective": {"alpha_s": fitted.alpha,
+                                 "beta_s_per_byte": fitted.beta},
         },
         "model_presets": {
             name: {"alpha_s": p.alpha, "beta_s_per_byte": p.beta}
             for name, p in sorted(PRESETS.items())
         },
         "collectives": collectives,
+        "ratio_stats": stats,
     }
     with open(args.output, "w") as f:
         json.dump(report, f, indent=1, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.output}")
+
+    if stats.get("count"):
+        print(f"ratio median={stats['median']:.2f} "
+              f"range [{stats['min']:.2f}, {stats['max']:.2f}] "
+              f"gate {list(RATIO_GATE)}")
+    if args.check:
+        lo, hi = RATIO_GATE
+        if not stats.get("count"):
+            print("FAIL: no ratio samples")
+            return 1
+        if not lo <= stats["median"] <= hi:
+            print(f"FAIL: median wall/predicted ratio "
+                  f"{stats['median']:.3f} outside [{lo}, {hi}]")
+            return 1
+        print(f"check passed: median ratio {stats['median']:.3f} "
+              f"within [{lo}, {hi}]")
     return 0
 
 

@@ -4,8 +4,10 @@ from .ascii_plot import plot_series, series_to_rows
 from .critpath import (CritSpan, critical_path,
                        critical_path_summary,
                        render_critical_path)
-from .calibrate import (calibrate, fit_alpha_beta, measure_gamma,
-                        measure_overhead, measure_pingpong)
+from .calibrate import (TrialSample, aggregate_trials, calibrate,
+                        fit_alpha_beta, measure_gamma, measure_overhead,
+                        measure_pingpong, measure_pingpong_trials,
+                        trial_spread)
 from .sweep import (OPERATION_PROGRAMS, Series, TABLE3_LENGTHS, byte_grid,
                     elements_for, run_operation, sweep_operation)
 from .tables import format_table, human_bytes, write_csv
@@ -16,8 +18,9 @@ __all__ = [
     "plot_series", "series_to_rows",
     "CritSpan", "critical_path", "critical_path_summary",
     "render_critical_path",
-    "calibrate", "fit_alpha_beta", "measure_gamma", "measure_overhead",
-    "measure_pingpong",
+    "TrialSample", "aggregate_trials", "calibrate", "fit_alpha_beta",
+    "measure_gamma", "measure_overhead", "measure_pingpong",
+    "measure_pingpong_trials", "trial_spread",
     "OPERATION_PROGRAMS", "Series", "TABLE3_LENGTHS", "byte_grid",
     "elements_for", "run_operation", "sweep_operation",
     "format_table", "human_bytes", "write_csv",

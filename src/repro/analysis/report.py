@@ -233,18 +233,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "--audit" in argv:
         import argparse
 
-        from .audit import GRIDS
+        from .audit import GRIDS, RUNTIME_GRIDS
         from .audit import main as audit_main
+        from .audit import main_runtime as audit_main_runtime
         ap = argparse.ArgumentParser(
             prog="python -m repro.analysis.report",
             description="run the model audit: selection regret, "
-                        "conflict-freedom, alpha/beta drift")
+                        "conflict-freedom, alpha/beta drift.  With "
+                        "--backend runtime, every ranked candidate is "
+                        "executed over real OS processes under this "
+                        "host's fitted calibration profile "
+                        "(AUDIT_runtime.json)")
         ap.add_argument("--audit", action="store_true", required=True)
-        ap.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
+        ap.add_argument("--backend", choices=("sim", "runtime"),
+                        default="sim",
+                        help="measure candidates on the simulator "
+                             "(default) or on real processes under the "
+                             "fitted per-host profile")
+        ap.add_argument("--grid",
+                        choices=sorted(set(GRIDS) | set(RUNTIME_GRIDS)),
+                        default="smoke")
         ap.add_argument("--params", default="paragon",
-                        help="machine parameter preset")
-        ap.add_argument("--out", default="AUDIT_model.json",
-                        help="output JSON artifact path")
+                        help="machine parameter preset (sim backend; "
+                             "the runtime backend always prices with "
+                             "the fitted profile)")
+        ap.add_argument("--transport", choices=("local", "tcp"),
+                        default="local",
+                        help="runtime-backend transport")
+        ap.add_argument("--out", default=None,
+                        help="output JSON artifact path (default "
+                             "AUDIT_model.json / AUDIT_runtime.json)")
         ap.add_argument("--check", action="store_true",
                         help="exit nonzero on violated conflict-freedom "
                              "or median regret above the gate")
@@ -252,10 +270,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="suppress per-cell progress lines")
         ap.add_argument("--workers", type=int, default=None,
                         help="shard the regret sweep across this many "
-                             "processes (deterministic merge; default "
-                             "serial)")
+                             "processes (sim backend; deterministic "
+                             "merge; default serial)")
+        ap.add_argument("--reps", type=int, default=3,
+                        help="collective repetitions per timed run "
+                             "(runtime backend)")
+        ap.add_argument("--trials", type=int, default=3,
+                        help="repeated timed runs per candidate "
+                             "(runtime backend)")
         ns = ap.parse_args(argv)
-        return audit_main(ns.grid, ns.params, ns.out, ns.check,
+        if ns.backend == "runtime":
+            return audit_main_runtime(
+                ns.grid, transport=ns.transport,
+                out_path=ns.out or "AUDIT_runtime.json",
+                do_check=ns.check, verbose=not ns.quiet,
+                reps=ns.reps, trials=ns.trials)
+        return audit_main(ns.grid, ns.params,
+                          ns.out or "AUDIT_model.json", ns.check,
                           verbose=not ns.quiet, workers=ns.workers)
     if "--trace" in argv:
         import argparse

@@ -99,6 +99,25 @@ class MachineParams:
         """Return a copy with some fields replaced."""
         return replace(self, **kw)
 
+    def to_dict(self) -> dict:
+        """JSON-ready field mapping (the per-host profile wire format,
+        see :mod:`repro.runtime.profile`)."""
+        return {"alpha": self.alpha, "beta": self.beta,
+                "gamma": self.gamma, "sw_overhead": self.sw_overhead,
+                "link_capacity": self.link_capacity}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineParams":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected so
+        a profile written by a newer schema fails loudly, not quietly."""
+        known = {"alpha", "beta", "gamma", "sw_overhead", "link_capacity"}
+        extra = set(d) - known
+        if extra:
+            raise ValueError(
+                f"unknown MachineParams fields {sorted(extra)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**{k: float(v) for k, v in d.items()})
+
     def transfer_time(self, nbytes: float) -> float:
         """Conflict-free point-to-point time ``alpha + n*beta`` (section 2)."""
         return self.alpha + nbytes * self.beta

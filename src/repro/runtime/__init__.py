@@ -21,18 +21,26 @@ from .transport import LocalMesh, RankTransport, TcpMesh, TransportError
 
 _LAUNCH_NAMES = ("ProcessMachine", "RankError", "RuntimeHangDiagnosis",
                  "RuntimeRunResult")
+_PROFILE_NAMES = ("MachineProfile", "calibrate_runtime", "ensure_profile",
+                  "load_profile", "load_profile_params", "save_profile")
 
 
 def __getattr__(name):
-    # Loaded lazily so `python -m repro.runtime.launch` doesn't import
-    # the launch module twice (runpy's found-in-sys.modules warning).
+    # Loaded lazily so `python -m repro.runtime.launch` (and
+    # `... .profile`) doesn't import the module twice (runpy's
+    # found-in-sys.modules warning).
     if name in _LAUNCH_NAMES:
         from . import launch
         return getattr(launch, name)
+    if name in _PROFILE_NAMES:
+        from . import profile
+        return getattr(profile, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
-    "LocalMesh", "ProcessEnv", "ProcessMachine", "RankDeadlineError",
-    "RankError", "RankTransport", "RuntimeHangDiagnosis",
-    "RuntimeRunResult", "TcpMesh", "TransportError", "drive",
+    "LocalMesh", "MachineProfile", "ProcessEnv", "ProcessMachine",
+    "RankDeadlineError", "RankError", "RankTransport",
+    "RuntimeHangDiagnosis", "RuntimeRunResult", "TcpMesh",
+    "TransportError", "calibrate_runtime", "drive", "ensure_profile",
+    "load_profile", "load_profile_params", "save_profile",
 ]

@@ -154,8 +154,19 @@ class ProcessMachine:
     params, topology:
         Machine description forwarded to every rank's env.  Use the
         same values as the simulator run being compared against so
-        ``algorithm="auto"`` resolves identical strategies; ``None`` is
-        allowed (documented auto fallback).
+        ``algorithm="auto"`` resolves identical strategies.  ``None``
+        engages **autotuning**: a fresh per-host calibration profile
+        (:mod:`repro.runtime.profile`), when one exists for this
+        host/transport, supplies fitted constants so auto dispatch is
+        priced for the machine actually running; with no usable
+        profile the documented fixed-threshold fallback applies.
+        Explicit ``params=`` always wins over the profile.
+    use_profile:
+        ``False`` disables profile auto-loading for this machine;
+        ``None`` (default) honours the ``REPRO_AUTOTUNE`` environment
+        switch.  The profile is loaded **once, in the parent**, and
+        forked to every rank — all ranks price with identical
+        constants, preserving the SPMD strategy-agreement contract.
     transport:
         ``"local"`` (multiprocessing pipes) or ``"tcp"``.
     timeout:
@@ -170,7 +181,8 @@ class ProcessMachine:
     def __init__(self, nprocs: Optional[int] = None, params=None,
                  topology=None, transport: str = "local",
                  timeout: float = 60.0, poll: float = 0.02,
-                 start_method: str = "fork", hard_grace: float = 5.0):
+                 start_method: str = "fork", hard_grace: float = 5.0,
+                 use_profile: Optional[bool] = None):
         if nprocs is None:
             if topology is None:
                 raise ValueError("nprocs or topology required")
@@ -181,6 +193,16 @@ class ProcessMachine:
         if transport not in ("local", "tcp"):
             raise ValueError(f"unknown transport {transport!r}")
         self.nprocs = nprocs
+        #: the auto-loaded MachineProfile, when fitted constants are in
+        #: use (None with explicit params or no usable stored profile)
+        self.profile = None
+        if params is None and use_profile is not False:
+            from .profile import autotune_enabled, load_profile
+            if use_profile or autotune_enabled():
+                profile = load_profile(transport)
+                if profile is not None:
+                    self.profile = profile
+                    params = profile.params
         self.params = params
         self.topology = topology
         self.transport = transport

@@ -1,10 +1,14 @@
 """Tests for machine characterization (the section 11 porting story)."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
-from repro.analysis import (calibrate, fit_alpha_beta, measure_gamma,
-                            measure_overhead, measure_pingpong)
+from repro.analysis import (aggregate_trials, calibrate, fit_alpha_beta,
+                            measure_gamma, measure_overhead,
+                            measure_pingpong, measure_pingpong_trials,
+                            trial_spread)
 from repro.sim import (DELTA, LinearArray, Machine, Mesh2D, PARAGON,
                        MachineParams, UNIT)
 
@@ -42,6 +46,141 @@ class TestFitting:
     def test_clamped_non_negative(self):
         alpha, beta = fit_alpha_beta([(0, 1.0), (10, 0.5), (20, 0.0)])
         assert beta == 0.0
+
+    def test_negative_intercept_refits_slope(self):
+        """Regression: clamping a negative intercept after the
+        unconstrained fit used to keep the slope that had compensated
+        for it, biasing beta.  The constrained fit pins the intercept
+        at zero and *refits* the slope through the origin."""
+        samples = [(0, 0.0), (10, 18.0), (100, 205.0)]
+        n = np.array([s[0] for s in samples], dtype=np.float64)
+        t = np.array([s[1] for s in samples], dtype=np.float64)
+        A = np.vstack([np.ones_like(n), n]).T
+        a_unc, b_unc = np.linalg.lstsq(A, t, rcond=None)[0]
+        assert a_unc < 0.0  # premise: the free fit crosses below zero
+
+        alpha, beta = fit_alpha_beta(samples)
+        assert alpha == 0.0
+        # the refit slope is the through-origin least-squares solution,
+        # not the biased unconstrained slope
+        assert beta == pytest.approx(float(n @ t) / float(n @ n))
+        assert beta != pytest.approx(float(b_unc), rel=1e-6)
+        # ...and it tracks the generating slope (~2 s/byte) closely
+        assert beta == pytest.approx(2.0, rel=0.05)
+
+    def test_all_negative_slope_degrades_to_pure_latency(self):
+        alpha, beta = fit_alpha_beta([(0, 3.0), (100, 1.0)])
+        assert beta == 0.0
+        assert alpha == pytest.approx(2.0)  # mean of the samples
+        assert alpha >= 0.0
+
+
+class TestAggregation:
+    def test_aggregators(self):
+        vals = [3.0, 1.0, 2.0, 10.0, 2.0]
+        assert aggregate_trials(vals, "median") == 2.0
+        assert aggregate_trials(vals, "min") == 1.0
+        assert aggregate_trials(vals, "mean") == pytest.approx(3.6)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(KeyError, match="unknown aggregator"):
+            aggregate_trials([1.0], "mode")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials([])
+
+    def test_trial_spread(self):
+        assert trial_spread([5.0]) == 0.0
+        assert trial_spread([]) == 0.0
+        assert trial_spread([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        assert trial_spread([0.0, 0.0]) == 0.0  # zero median guarded
+
+    def test_trials_are_noops_on_deterministic_sim(self):
+        m = Machine(Mesh2D(4, 8), PARAGON)
+        assert calibrate(m, trials=3) == calibrate(m)
+        samples = measure_pingpong_trials(m, [0, 1024], trials=3)
+        for s in samples:
+            assert len(s.trials) == 3
+            assert s.spread == 0.0
+            assert s.value == s.trials[0]
+
+    def test_trial_sample_provenance_json(self):
+        m = Machine(LinearArray(4), UNIT)
+        (s,) = measure_pingpong_trials(m, [10], trials=2)
+        d = s.to_json()
+        assert d == {"nbytes": 10, "value": 11.0,
+                     "trials": [11.0, 11.0], "spread": 0.0}
+
+    def test_trials_must_be_positive(self):
+        m = Machine(LinearArray(2), UNIT)
+        with pytest.raises(ValueError, match="trials"):
+            measure_pingpong_trials(m, [8], trials=0)
+
+
+class _JitterMachine:
+    """The exact simulator plus seeded one-sided timing noise — a stand
+    in for a real host where the OS only ever makes you *slower*."""
+
+    def __init__(self, inner, scale, seed):
+        self._inner = inner
+        self._rng = np.random.default_rng(seed)
+        self._scale = scale
+        self.nnodes = inner.nnodes
+        self.topology = inner.topology
+
+    def run(self, *args, **kwargs):
+        res = self._inner.run(*args, **kwargs)
+        noise = float(self._rng.exponential(self._scale))
+        return SimpleNamespace(time=res.time + noise,
+                               results=getattr(res, "results", None))
+
+
+class TestJitterStability:
+    """Regression: single-shot calibration let one scheduler hiccup
+    skew the fitted constants; repeated trials with a deterministic
+    aggregator keep the fit stable."""
+
+    LENGTHS = [0, 10, 100, 1000]
+
+    def _fit(self, seed, trials, aggregate):
+        noisy = _JitterMachine(Machine(LinearArray(2), UNIT),
+                               scale=2.0, seed=seed)
+        samples = measure_pingpong(noisy, self.LENGTHS, trials=trials,
+                                   aggregate=aggregate)
+        return fit_alpha_beta(samples)
+
+    def test_min_of_k_recovers_truth(self):
+        # UNIT: alpha = 1, beta = 1; jitter scale 2.0 is twice alpha
+        alpha, beta = self._fit(seed=7, trials=9, aggregate="min")
+        assert alpha == pytest.approx(UNIT.alpha, rel=0.25)
+        assert beta == pytest.approx(UNIT.beta, rel=0.05)
+
+    def test_multi_trial_beats_single_shot(self):
+        def err(alpha, beta):
+            return (abs(alpha - UNIT.alpha) / UNIT.alpha
+                    + abs(beta - UNIT.beta) / UNIT.beta)
+
+        seeds = range(5)
+        single = [err(*self._fit(s, trials=1, aggregate="min"))
+                  for s in seeds]
+        multi = [err(*self._fit(s, trials=9, aggregate="min"))
+                 for s in seeds]
+        assert max(multi) < max(single)
+        assert sum(multi) < sum(single)
+
+    def test_median_aggregate_stable_across_seeds(self):
+        fits = [self._fit(seed, trials=9, aggregate="median")
+                for seed in range(4)]
+        alphas = [a for a, _ in fits]
+        betas = [b for _, b in fits]
+        assert max(alphas) - min(alphas) < 1.5  # jitter scale is 2.0
+        assert max(betas) == pytest.approx(min(betas), rel=0.1)
+        # dispersion is recorded on every sample
+        noisy = _JitterMachine(Machine(LinearArray(2), UNIT),
+                               scale=2.0, seed=11)
+        samples = measure_pingpong_trials(noisy, [0], trials=5)
+        assert samples[0].spread > 0.0
 
 
 class TestFullCalibration:
