@@ -36,6 +36,14 @@ regression-relevant:
 ``--check`` gates the wall/predicted ratios: the median over the
 collective grid must land in ``[0.5, 2.0]`` — the fitted model must
 track live hardware within 2x where the 1994 presets sat at 1.9-4x.
+
+A third experiment rides along since runtime tracing landed: every
+collective is re-measured with ``trace=True`` (the ``wall_s_traced``
+column), and a dedicated two-rank ping-pong compares traced vs
+untraced round trips (min over interleaved trials — the robust
+statistic for an overhead comparison).  ``--check`` additionally gates
+that ping-pong trace overhead below 10%: observability must stay
+passive.
 """
 
 from __future__ import annotations
@@ -58,11 +66,16 @@ DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_runtime.json")
 #: the --check gate: median wall/predicted ratio must land inside
 RATIO_GATE = (0.5, 2.0)
 
+#: the --check gate: traced/untraced ping-pong overhead must stay below
+TRACE_OVERHEAD_GATE = 0.10
+
 GRIDS = {
     "smoke": {"pingpong_reps": 15, "pingpong_trials": 2,
-              "coll_ns": [1024], "coll_reps": 5, "coll_trials": 3},
+              "coll_ns": [1024], "coll_reps": 5, "coll_trials": 3,
+              "overhead_reps": 40, "overhead_trials": 3},
     "full": {"pingpong_reps": 20, "pingpong_trials": 3,
-             "coll_ns": [1024, 65536], "coll_reps": 5, "coll_trials": 5},
+             "coll_ns": [1024, 65536], "coll_reps": 5, "coll_trials": 5,
+             "overhead_reps": 60, "overhead_trials": 5},
 }
 
 COLLECTIVES = ["bcast", "allreduce", "collect", "reduce_scatter"]
@@ -123,19 +136,83 @@ def measure_collectives(machine, ns, reps, trials, fitted_params):
     for op in COLLECTIVES:
         for n in ns:
             raw = []
+            raw_traced = []
             for _ in range(trials):
                 res = machine.run(_collective_prog(op, n, reps))
                 raw.append(max(t for t in res.results if t is not None))
+                res = machine.run(_collective_prog(op, n, reps),
+                                  trace=True)
+                raw_traced.append(
+                    max(t for t in res.results if t is not None))
             wall = statistics.median(raw)
             predicted = predictor.run(_collective_only_prog(op, n)).time
             out[f"{op}/p{_COLL_P}/n{n}"] = {
                 "wall_s": wall,
+                "wall_s_traced": statistics.median(raw_traced),
                 "wall_trials": [float(t) for t in raw],
                 "wall_spread": trial_spread(raw),
                 "predicted_s": predicted,
                 "ratio": wall / predicted if predicted > 0 else None,
             }
     return out
+
+
+def _timed_pingpong_prog(nbytes, reps):
+    """Two-rank ping-pong; returns mean seconds per round trip.
+
+    The timed region starts after a barrier and contains only the
+    send/recv loop — on traced runs the clock-sync exchange happened
+    before the program even started, so any slowdown measured here is
+    pure collector overhead (the per-event dict appends).
+    """
+    def prog(env):
+        from repro.core import api
+        payload = np.zeros(max(nbytes // 8, 1), dtype=np.float64)
+        yield from api.barrier(env)
+        t0 = time.perf_counter()
+        for k in range(reps):
+            if env.rank == 0:
+                yield env.send(1, payload, tag=k)
+                yield env.recv(1, tag=k)
+            else:
+                got = yield env.recv(0, tag=k)
+                yield env.send(0, got, tag=k)
+        return (time.perf_counter() - t0) / reps
+    return prog
+
+
+def measure_trace_overhead(machine, reps, trials,
+                           nbytes: int = 1024) -> dict:
+    """Traced vs untraced ping-pong round trips on two ranks.
+
+    Interleaves traced and untraced trials (so OS noise hits both
+    alike) and compares the **min** of each — the robust statistic for
+    an overhead question: minima discard scheduler interference, and
+    instrumentation cost is a strict per-event addition that survives
+    in the minimum.
+    """
+    def once(trace: bool) -> float:
+        res = machine.run(_timed_pingpong_prog(nbytes, reps),
+                          trace=trace)
+        return max(t for t in res.results if t is not None)
+
+    once(False)                      # warm up forks, pipes, imports
+    untraced, traced = [], []
+    for _ in range(trials):
+        untraced.append(once(False))
+        traced.append(once(True))
+    best_untraced, best_traced = min(untraced), min(traced)
+    return {
+        "nbytes": nbytes,
+        "reps": reps,
+        "trials": trials,
+        "untraced_s": best_untraced,
+        "traced_s": best_traced,
+        "untraced_trials": [float(t) for t in untraced],
+        "traced_trials": [float(t) for t in traced],
+        "overhead": best_traced / best_untraced - 1.0,
+        "gate": TRACE_OVERHEAD_GATE,
+    }
 
 
 def ratio_stats(collectives: dict) -> dict:
@@ -201,10 +278,23 @@ def main(argv=None) -> int:
                                       grid["coll_reps"],
                                       grid["coll_trials"], fitted)
     for cid, entry in collectives.items():
-        print(f"  {cid:<28} {entry['wall_s'] * 1e6:10.1f} us wall, "
+        print(f"  {cid:<28} {entry['wall_s'] * 1e6:10.1f} us wall "
+              f"({entry['wall_s_traced'] * 1e6:.1f} traced), "
               f"{entry['predicted_s'] * 1e6:10.1f} us predicted, "
               f"ratio {entry['ratio']:.2f}")
     stats = ratio_stats(collectives)
+
+    print("# trace overhead (2-rank ping-pong, traced vs untraced)")
+    overhead_machine = ProcessMachine(2, params=fitted,
+                                      transport=args.transport,
+                                      timeout=300)
+    trace_overhead = measure_trace_overhead(
+        overhead_machine, grid["overhead_reps"],
+        grid["overhead_trials"])
+    print(f"  untraced {trace_overhead['untraced_s'] * 1e6:.1f} us, "
+          f"traced {trace_overhead['traced_s'] * 1e6:.1f} us per round "
+          f"trip -> overhead {trace_overhead['overhead'] * 100:+.1f}% "
+          f"(gate < {TRACE_OVERHEAD_GATE * 100:.0f}%)")
 
     report = {
         "meta": {
@@ -230,6 +320,7 @@ def main(argv=None) -> int:
         },
         "collectives": collectives,
         "ratio_stats": stats,
+        "trace_overhead": trace_overhead,
     }
     with open(args.output, "w") as f:
         json.dump(report, f, indent=1, sort_keys=True)
@@ -249,8 +340,15 @@ def main(argv=None) -> int:
             print(f"FAIL: median wall/predicted ratio "
                   f"{stats['median']:.3f} outside [{lo}, {hi}]")
             return 1
+        if trace_overhead["overhead"] >= TRACE_OVERHEAD_GATE:
+            print(f"FAIL: ping-pong trace overhead "
+                  f"{trace_overhead['overhead'] * 100:.1f}% >= "
+                  f"{TRACE_OVERHEAD_GATE * 100:.0f}%")
+            return 1
         print(f"check passed: median ratio {stats['median']:.3f} "
-              f"within [{lo}, {hi}]")
+              f"within [{lo}, {hi}]; trace overhead "
+              f"{trace_overhead['overhead'] * 100:+.1f}% < "
+              f"{TRACE_OVERHEAD_GATE * 100:.0f}%")
     return 0
 
 

@@ -169,9 +169,6 @@ def run_traced_scenario(op: str, p: int, nbytes: int,
 
     Returns the :class:`~repro.sim.machine.RunResult`.
     """
-    import numpy as np
-
-    from ..core import api
     from ..sim.machine import Machine
     from ..sim.params import preset
     from ..sim.topology import LinearArray
@@ -179,6 +176,16 @@ def run_traced_scenario(op: str, p: int, nbytes: int,
     if op not in TRACE_OPS:
         raise SystemExit(f"unknown op {op!r}; known: {', '.join(TRACE_OPS)}")
     n = max(nbytes // 8, 1)
+    machine = Machine(LinearArray(p), preset(params_name))
+    return machine.run(_trace_program(op, n, algorithm), trace=True,
+                       metrics=True)
+
+
+def _trace_program(op: str, n: int, algorithm: str):
+    """The SPMD generator the --trace scenarios run (both backends)."""
+    import numpy as np
+
+    from ..core import api
 
     def program(env):
         if op == "bcast":
@@ -197,8 +204,38 @@ def run_traced_scenario(op: str, p: int, nbytes: int,
                 yield from fn(env, vec, algorithm=algorithm)
         return None
 
-    machine = Machine(LinearArray(p), preset(params_name))
-    return machine.run(program, trace=True, metrics=True)
+    return program
+
+
+def trace_main_runtime(op: str, p: int, nbytes: int, algorithm: str,
+                       out_path: str, transport: str,
+                       timescale: float) -> int:
+    """--trace --backend runtime: measure a real multi-process run.
+
+    Runs the scenario over OS processes with per-rank wall-clock
+    tracing and cross-rank clock alignment, writes the merged
+    Chrome/Perfetto trace (one process track per rank, send->recv flow
+    arrows), and prints the predicted-vs-measured audit pairing.
+    """
+    from ..obs.runtime import write_chrome_trace
+    from ..runtime.launch import ProcessMachine
+
+    if op not in TRACE_OPS:
+        raise SystemExit(f"unknown op {op!r}; known: {', '.join(TRACE_OPS)}")
+    n = max(nbytes // 8, 1)
+    machine = ProcessMachine(p, transport=transport)
+    res = machine.run(_trace_program(op, n, algorithm), trace=True)
+    write_chrome_trace(res.trace, out_path, timescale=timescale)
+    print(f"{op} p={p} nbytes={nbytes} [runtime/{transport}]: "
+          f"t={res.time:.3f}s wall, {res.trace.message_count()} "
+          f"messages, {len(res.trace.closed_spans())} spans, clock "
+          f"alignment +-{res.trace.max_uncertainty_s() * 1e6:.0f}us")
+    print(f"wrote {out_path} (open in chrome://tracing or "
+          f"ui.perfetto.dev)")
+    if res.audit is not None:
+        print("\npredicted vs measured (wall windows):")
+        print(res.audit.render())
+    return 0
 
 
 def trace_main(op: str, p: int, nbytes: int, params_name: str,
@@ -296,18 +333,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "Chrome trace")
         ap.add_argument("--trace", metavar="OP", choices=TRACE_OPS,
                         required=True, help="collective to run")
+        ap.add_argument("--backend", choices=("sim", "runtime"),
+                        default="sim",
+                        help="trace the simulator (default) or a real "
+                             "multi-process run with wall clocks "
+                             "aligned across ranks")
         ap.add_argument("--p", type=int, default=30, help="group size")
         ap.add_argument("--bytes", type=int, default=8192,
                         dest="nbytes", help="vector size in bytes")
         ap.add_argument("--params", default="PARAGON",
-                        help="machine parameter preset")
+                        help="machine parameter preset (sim backend)")
+        ap.add_argument("--transport", choices=("local", "tcp"),
+                        default="local",
+                        help="runtime-backend transport")
         ap.add_argument("--algorithm", default="auto")
         ap.add_argument("--out", default=None,
                         help="output JSON path (default OP.trace.json)")
         ap.add_argument("--timescale", type=float, default=1e6,
-                        help="simulated seconds -> trace microseconds")
+                        help="traced seconds -> trace microseconds")
         ns = ap.parse_args(argv)
         out = ns.out or f"{ns.trace}.trace.json"
+        if ns.backend == "runtime":
+            return trace_main_runtime(ns.trace, ns.p, ns.nbytes,
+                                      ns.algorithm, out, ns.transport,
+                                      ns.timescale)
         return trace_main(ns.trace, ns.p, ns.nbytes, ns.params,
                           ns.algorithm, out, ns.timescale)
     results_dir = argv[0] if argv else "bench_results"

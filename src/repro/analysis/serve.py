@@ -1,0 +1,199 @@
+"""The observatory: a zero-dependency dashboard over the artifacts.
+
+The repo emits its evidence as committed JSON artifacts — selection
+regret (``AUDIT_model.json`` / ``AUDIT_runtime.json``), perf
+trajectories (``BENCH_sim.json`` / ``BENCH_runtime.json``), chaos
+verdicts (``CHAOS_report.json``), calibration profiles (inside
+BENCH_runtime), and Chrome traces (``*.trace.json``).  This module
+serves a static dashboard that renders all of them in a browser:
+
+    python -m repro.analysis.serve                  # current directory
+    python -m repro.analysis.serve --root . --port 8350
+
+Stdlib only (``http.server``), by design: the observatory must run on
+the same bare CI/container hosts the library itself targets.  The
+dashboard is plain HTML + vanilla JS + inline SVG under
+``repro/analysis/static/``.
+
+Routes::
+
+    /                      the dashboard (static/index.html)
+    /static/<name>         dashboard assets (whitelisted basenames)
+    /api/index             JSON: which artifacts/traces exist under root
+    /api/artifact/<name>   one artifact's JSON (whitelist + *.trace.json)
+
+Everything else is 404.  Only files directly under ``--root`` whose
+names are in :data:`ARTIFACTS` (or match ``*.trace.json``) are ever
+read — the server cannot be steered at arbitrary paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+
+#: servable artifact files (basenames, resolved under the serve root)
+ARTIFACTS = (
+    "AUDIT_model.json",
+    "AUDIT_runtime.json",
+    "BENCH_runtime.json",
+    "BENCH_sim.json",
+    "CHAOS_report.json",
+)
+
+#: suffix admitting merged Chrome traces into the artifact whitelist
+TRACE_SUFFIX = ".trace.json"
+
+_STATIC_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "static")
+
+_CONTENT_TYPES = {
+    ".html": "text/html; charset=utf-8",
+    ".css": "text/css; charset=utf-8",
+    ".js": "application/javascript; charset=utf-8",
+    ".json": "application/json; charset=utf-8",
+}
+
+
+def _is_trace_name(name: str) -> bool:
+    return (name.endswith(TRACE_SUFFIX) and name == os.path.basename(name)
+            and not name.startswith("."))
+
+
+def list_artifacts(root: str) -> dict:
+    """What the dashboard can ask for: ``/api/index`` payload."""
+    present = []
+    for name in ARTIFACTS:
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            present.append({"name": name,
+                            "bytes": os.path.getsize(path)})
+    traces = []
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError:
+        entries = []
+    for name in entries:
+        if _is_trace_name(name) and os.path.isfile(
+                os.path.join(root, name)):
+            traces.append({"name": name,
+                           "bytes": os.path.getsize(
+                               os.path.join(root, name))})
+    return {"artifacts": present, "traces": traces}
+
+
+class ObservatoryHandler(BaseHTTPRequestHandler):
+    """Routes GETs to the dashboard, its assets, and the artifacts."""
+
+    server_version = "repro-observatory/1"
+    #: set via functools.partial in :func:`make_server`
+    root = "."
+    quiet = True
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/index.html"):
+            self._send_static("index.html")
+        elif path.startswith("/static/"):
+            self._send_static(path[len("/static/"):])
+        elif path == "/api/index":
+            self._send_json(list_artifacts(self.root))
+        elif path.startswith("/api/artifact/"):
+            self._send_artifact(path[len("/api/artifact/"):])
+        else:
+            self.send_error(404, "unknown route")
+
+    def _send_static(self, name: str) -> None:
+        if name != os.path.basename(name) or name.startswith("."):
+            self.send_error(404, "bad asset name")
+            return
+        path = os.path.join(_STATIC_DIR, name)
+        ext = os.path.splitext(name)[1]
+        if ext not in _CONTENT_TYPES or not os.path.isfile(path):
+            self.send_error(404, "no such asset")
+            return
+        with open(path, "rb") as f:
+            body = f.read()
+        self._send_bytes(body, _CONTENT_TYPES[ext])
+
+    def _send_artifact(self, name: str) -> None:
+        if name not in ARTIFACTS and not _is_trace_name(name):
+            self.send_error(404, "not a servable artifact")
+            return
+        path = os.path.join(self.root, name)
+        if not os.path.isfile(path):
+            self.send_error(404, f"{name} not present under serve root")
+            return
+        with open(path, "rb") as f:
+            body = f.read()
+        self._send_bytes(body, _CONTENT_TYPES[".json"])
+
+    def _send_json(self, payload: dict) -> None:
+        self._send_bytes(
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            _CONTENT_TYPES[".json"])
+
+    def _send_bytes(self, body: bytes, ctype: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:
+        if not self.quiet:
+            sys.stderr.write("observatory: " + fmt % args + "\n")
+
+
+def make_server(root: str = ".", host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-serve observatory bound to ``host:port``.
+
+    ``port=0`` picks a free port (read it back from
+    ``server.server_address``) — what the smoke test uses.  The caller
+    owns the lifecycle: ``serve_forever()`` / ``shutdown()`` /
+    ``server_close()``.
+    """
+    handler = type("BoundObservatoryHandler", (ObservatoryHandler,),
+                   {"root": os.path.abspath(root), "quiet": quiet})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.serve",
+        description="serve the observatory dashboard over the repo's "
+                    "JSON artifacts (stdlib http.server; no third-party "
+                    "dependencies)")
+    ap.add_argument("--root", default=".",
+                    help="directory holding the artifacts "
+                         "(default: current directory)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8350)
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-request log lines")
+    ns = ap.parse_args(argv)
+
+    server = make_server(ns.root, ns.host, ns.port, quiet=ns.quiet)
+    host, port = server.server_address[:2]
+    idx = list_artifacts(os.path.abspath(ns.root))
+    print(f"observatory at http://{host}:{port}/ "
+          f"(root={os.path.abspath(ns.root)}; "
+          f"{len(idx['artifacts'])} artifacts, "
+          f"{len(idx['traces'])} traces)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

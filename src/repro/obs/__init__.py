@@ -66,6 +66,19 @@ _LAZY = {
     "DriftReport": ("repro.obs.audit", "DriftReport"),
     "fit_drift": ("repro.obs.audit", "fit_drift"),
     "drift_from_runs": ("repro.obs.audit", "drift_from_runs"),
+    # runtime (real-process) tracing: per-rank wall-clock collector,
+    # clock alignment, merged multi-process trace + Perfetto export
+    # (lazy so `import repro.obs` stays light inside rank processes)
+    "RuntimeTracer": ("repro.obs.runtime", "RuntimeTracer"),
+    "RuntimeTrace": ("repro.obs.runtime", "RuntimeTrace"),
+    "ClockEstimate": ("repro.obs.runtime", "ClockEstimate"),
+    "estimate_clock_offset": ("repro.obs.runtime",
+                              "estimate_clock_offset"),
+    "sync_clocks": ("repro.obs.runtime", "sync_clocks"),
+    "merge_rank_traces": ("repro.obs.runtime", "merge_rank_traces"),
+    "runtime_chrome_trace": ("repro.obs.runtime", "chrome_trace"),
+    "write_runtime_chrome_trace": ("repro.obs.runtime",
+                                   "write_chrome_trace"),
 }
 
 __all__ = [

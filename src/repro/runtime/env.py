@@ -40,13 +40,19 @@ class RankDeadlineError(RuntimeError):
 
     Raised *inside* the rank process so the launcher receives a typed,
     per-rank diagnosis (which requests were pending, on which peers)
-    instead of having to kill an opaque hung process.
+    instead of having to kill an opaque hung process.  ``queues``
+    carries the rank's progress snapshot — posted/unexpected queue
+    depths and the wall time of its last matched or drained frame — so
+    hang reports show *how far* the rank got, not only what it was
+    blocked on.
     """
 
-    def __init__(self, rank: int, elapsed: float, detail: str):
+    def __init__(self, rank: int, elapsed: float, detail: str,
+                 queues: Optional[Dict[str, object]] = None):
         self.rank = rank
         self.elapsed = elapsed
         self.detail = detail
+        self.queues = dict(queues or {})
         super().__init__(
             f"rank {rank} blocked for {elapsed:.1f}s past its deadline; "
             f"{detail}")
@@ -81,13 +87,19 @@ class ProcessEnv:
     def __init__(self, rank: int, nranks: int, transport: RankTransport,
                  params=None, topology=None, status=None,
                  deadline: Optional[float] = None,
-                 poll: float = 0.05):
+                 poll: float = 0.05, tracer=None):
         self.rank = rank
         self._nranks = nranks
         self._transport = transport
         self.params = params
         self.topology = topology
-        self.tracer = None  # no trace collector on the real backend (yet)
+        #: wall-clock trace collector
+        #: (:class:`repro.obs.runtime.RuntimeTracer`), or None.
+        #: ``CollContext`` finds it here, so collective stage spans and
+        #: auto-dispatch prediction capture work on this backend too.
+        #: The launcher attaches it *after* the clock-sync exchange so
+        #: alignment probes don't clutter the trace.
+        self.tracer = tracer
         self._status = status
         self._deadline = deadline
         self._poll = poll
@@ -96,6 +108,12 @@ class ProcessEnv:
         self._posted: Dict[Tuple[int, int], deque] = {}
         # (source, tag) -> FIFO of arrived-but-unmatched payloads
         self._unexpected: Dict[Tuple[int, int], deque] = {}
+        # running totals so queue-depth snapshots are O(1)
+        self._n_posted = 0
+        self._n_unexpected = 0
+        #: wall time of the last matched or drained frame (None until
+        #: the first one) — feeds hang diagnoses and the trace
+        self.last_progress_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # identity / clock
@@ -124,6 +142,10 @@ class ProcessEnv:
         if nbytes is None:
             nbytes = payload_nbytes(data)
         h = CommHandle("send", dst, tag, data, nbytes, self.now)
+        if self.tracer is not None:
+            self.tracer.send_post(self.now, dst, tag, nbytes,
+                                  self._transport.outbox_depth(),
+                                  self._n_posted, self._n_unexpected)
         self._transport.send(dst, tag, data, nbytes)
         h.done = True  # eager: buffered by the transport writer
         return h
@@ -132,14 +154,22 @@ class ProcessEnv:
         self._check_peer(src)
         h = CommHandle("recv", src, tag, None, 0.0, self.now)
         key = (src, tag)
+        if self.tracer is not None:
+            self.tracer.recv_post(self.now, src, tag,
+                                  self._n_posted, self._n_unexpected)
         q = self._unexpected.get(key)
         if q:
             h.data = q.popleft()
             h.done = True
             if not q:
                 del self._unexpected[key]
+            self._n_unexpected -= 1
+            self.last_progress_s = self.now
+            if self.tracer is not None:
+                self.tracer.match(self.now, src, tag)
         else:
             self._posted.setdefault(key, deque()).append(h)
+            self._n_posted += 1
         return h
 
     def send(self, dst: int, data: Any, tag: int = 0,
@@ -171,6 +201,8 @@ class ProcessEnv:
         return _Delay(0.0)
 
     def mark(self, label: str) -> _Delay:
+        if self.tracer is not None:
+            self.tracer.mark(self.now, self.rank, label)
         return _Delay(0.0)
 
     def _check_peer(self, peer: int) -> None:
@@ -208,12 +240,14 @@ class ProcessEnv:
     def _progress(self, blocked) -> None:
         if self._deadline is not None and self.now > self._deadline:
             raise RankDeadlineError(self.rank, self.now,
-                                    self._describe(blocked))
+                                    self._describe(blocked),
+                                    queues=self.queue_snapshot())
         msg = self._transport.recv_any(timeout=self._poll)
         if msg is None:
             return
         src, tag, payload = msg
         key = (src, tag)
+        self.last_progress_s = self.now
         q = self._posted.get(key)
         if q:
             h = q.popleft()
@@ -221,8 +255,22 @@ class ProcessEnv:
             h.done = True
             if not q:
                 del self._posted[key]
+            self._n_posted -= 1
+            if self.tracer is not None:
+                self.tracer.match(self.now, src, tag)
         else:
             self._unexpected.setdefault(key, deque()).append(payload)
+            self._n_unexpected += 1
+            if self.tracer is not None:
+                self.tracer.drain(self.now, src, tag)
+
+    def queue_snapshot(self) -> Dict[str, object]:
+        """Progress snapshot: queue depths + last matched/drained time."""
+        return {
+            "posted": self._n_posted,
+            "unexpected": self._n_unexpected,
+            "last_progress_s": self.last_progress_s,
+        }
 
     def _describe(self, blocked) -> str:
         parts = []
@@ -231,7 +279,11 @@ class ProcessEnv:
                          f"posted_at={h.posted_at:.3f}s)")
         if len(blocked) > 4:
             parts.append(f"... +{len(blocked) - 4} more")
-        return f"blocked on {len(blocked)} pending: " + ", ".join(parts)
+        last = ("never" if self.last_progress_s is None
+                else f"{self.last_progress_s:.3f}s")
+        return (f"blocked on {len(blocked)} pending: " + ", ".join(parts)
+                + f"; queues posted={self._n_posted} "
+                f"unexpected={self._n_unexpected} last_progress={last}")
 
     def _set_status(self, text: str) -> None:
         if self._status is not None:

@@ -30,7 +30,10 @@ from __future__ import annotations
 import argparse
 import importlib
 import multiprocessing
+import os
+import shutil
 import sys
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -70,29 +73,43 @@ class RuntimeHangDiagnosis(RuntimeError):
 
     ``blocked`` maps rank -> what it was waiting for (self-reported via
     the soft deadline, or read from the rank's shared status slot if it
-    had to be killed); ``finished`` lists ranks that completed.  The
-    payload is structured (:meth:`to_dict`) so CI can archive it.
+    had to be killed); ``finished`` lists ranks that completed.
+    ``queues`` maps each self-reporting blocked rank to its progress
+    snapshot — posted/unexpected queue depths and the wall time of its
+    last matched or drained frame — so the diagnosis shows *how far*
+    each rank got, not only what it was blocked on.  The payload is
+    structured (:meth:`to_dict`) so CI can archive it.
     """
 
     def __init__(self, timeout: float, blocked: Dict[int, str],
-                 finished: Sequence[int], killed: Sequence[int]):
+                 finished: Sequence[int], killed: Sequence[int],
+                 queues: Optional[Dict[int, Dict[str, Any]]] = None):
         self.timeout = timeout
         self.blocked = dict(blocked)
         self.finished = sorted(finished)
         self.killed = sorted(killed)
+        self.queues = {r: dict(q) for r, q in (queues or {}).items()}
         lines = [f"run exceeded {timeout:.1f}s wall-clock budget; "
                  f"{len(self.finished)} rank(s) finished, "
                  f"{len(self.blocked)} blocked"]
         for rank in sorted(self.blocked):
             tag = " [killed]" if rank in self.killed else ""
             lines.append(f"  rank {rank}{tag}: {self.blocked[rank]}")
+            q = self.queues.get(rank)
+            if q:
+                last = q.get("last_progress_s")
+                lines.append(
+                    f"    progress: posted={q.get('posted')} "
+                    f"unexpected={q.get('unexpected')} last_progress="
+                    + ("never" if last is None else f"{last:.3f}s"))
         super().__init__("\n".join(lines))
 
     def to_dict(self) -> dict:
         return {"timeout": self.timeout,
                 "blocked": {str(r): s for r, s in self.blocked.items()},
                 "finished": self.finished,
-                "killed": self.killed}
+                "killed": self.killed,
+                "queues": {str(r): q for r, q in self.queues.items()}}
 
 
 @dataclass
@@ -102,7 +119,11 @@ class RuntimeRunResult:
     ``results[rank]`` is the rank program's return value (None for
     ranks outside ``ranks=``); ``time`` is parent-side wall seconds
     from first fork to last result; ``rank_times`` are each rank's own
-    env clocks at completion.
+    env clocks at completion.  On traced runs (``trace=True``),
+    ``trace`` is the merged :class:`~repro.obs.runtime.RuntimeTrace`
+    (timestamps rebased onto the reference rank's clock) and ``audit``
+    pairs each collective's captured prediction with its measured wall
+    window, exactly like the simulator's ``RunResult.audit``.
     """
 
     results: List[Any]
@@ -110,12 +131,26 @@ class RuntimeRunResult:
     nprocs: int
     transport: str
     rank_times: Dict[int, float] = field(default_factory=dict)
+    trace: Any = None
+    params: Any = None
+    _audit: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def audit(self):
+        """Predicted-vs-measured audit of a traced run (lazy)."""
+        if self.trace is None:
+            return None
+        if self._audit is None:
+            from ..obs.audit import audit_run
+            self._audit = audit_run(self)
+        return self._audit
 
 
 def _child_main(rank, active, nranks, transport_kind, mesh, rendezvous,
                 params, topology, program, args, kwargs, status,
-                result_conn, deadline, poll):
+                result_conn, deadline, poll, trace_path=None):
     tr = None
+    tracer = None
     try:
         if transport_kind == "local":
             tr = mesh.adopt(rank, nranks)
@@ -126,11 +161,30 @@ def _child_main(rank, active, nranks, transport_kind, mesh, rendezvous,
         env = ProcessEnv(rank, nranks, tr, params=params,
                          topology=topology, status=status,
                          deadline=deadline, poll=poll)
+        if trace_path is not None:
+            # Align clocks *before* attaching the tracer so the
+            # ping-pong probes never clutter the trace; the exchange
+            # fully drains (per-pair FIFO on a reserved tag), so the
+            # rank program starts with empty queues either way.
+            from ..obs.runtime import RuntimeTracer, sync_clocks
+            tracer = RuntimeTracer(rank, nranks,
+                                   transport=transport_kind)
+            tracer.clock_estimate = sync_clocks(env, active)
+            env.tracer = tracer
         value = drive(env, program, *args, **kwargs)
         tr.flush_and_close()
+        if tracer is not None:
+            tracer.dump_jsonl(trace_path)
         result_conn.send(("ok", value, env.now))
     except RankDeadlineError as exc:
-        result_conn.send(("blocked", exc.detail, exc.elapsed))
+        if tracer is not None:
+            try:
+                tracer.dump_jsonl(trace_path)
+            except OSError:
+                pass
+        result_conn.send(("blocked",
+                          {"detail": exc.detail, "queues": exc.queues},
+                          exc.elapsed))
     except BaseException:
         result_conn.send(("error", traceback.format_exc(), None))
     finally:
@@ -182,7 +236,8 @@ class ProcessMachine:
                  topology=None, transport: str = "local",
                  timeout: float = 60.0, poll: float = 0.02,
                  start_method: str = "fork", hard_grace: float = 5.0,
-                 use_profile: Optional[bool] = None):
+                 use_profile: Optional[bool] = None,
+                 trace: bool = False):
         if nprocs is None:
             if topology is None:
                 raise ValueError("nprocs or topology required")
@@ -212,15 +267,29 @@ class ProcessMachine:
         #: extra seconds past ``timeout * 1.5`` before the parent kills
         #: ranks too wedged to self-report their blocked state
         self.hard_grace = hard_grace
+        #: default for :meth:`run`'s ``trace=`` — collect per-rank
+        #: wall-clock traces and merge them (docs/observability.md)
+        self.trace = trace
 
     @property
     def nnodes(self) -> int:
         return self.nprocs
 
     def run(self, program, *args, ranks: Optional[Sequence[int]] = None,
-            timeout: Optional[float] = None, **kwargs) -> RuntimeRunResult:
-        """Run ``program(env, *args, **kwargs)`` on every active rank."""
+            timeout: Optional[float] = None, trace: Optional[bool] = None,
+            trace_dir: Optional[str] = None, **kwargs) -> RuntimeRunResult:
+        """Run ``program(env, *args, **kwargs)`` on every active rank.
+
+        With ``trace=True`` every rank collects a wall-clock trace
+        (spans, marks, message post/match/drain events), aligns its
+        clock to the lowest active rank at rendezvous, and dumps JSONL
+        to ``trace_dir`` (a private temp dir by default, removed after
+        the merge; pass ``trace_dir=`` to keep the per-rank files).
+        The merged :class:`~repro.obs.runtime.RuntimeTrace` lands on
+        ``RuntimeRunResult.trace``.
+        """
         timeout = self.timeout if timeout is None else timeout
+        trace = self.trace if trace is None else trace
         active = (sorted(set(ranks)) if ranks is not None
                   else list(range(self.nprocs)))
         if not active:
@@ -228,6 +297,18 @@ class ProcessMachine:
         for r in active:
             if not 0 <= r < self.nprocs:
                 raise ValueError(f"rank {r} out of range")
+
+        trace_tmp = None
+        trace_paths: Dict[int, Optional[str]] = {r: None for r in active}
+        if trace:
+            if trace_dir is None:
+                trace_dir = trace_tmp = tempfile.mkdtemp(
+                    prefix="repro-trace-")
+            else:
+                os.makedirs(trace_dir, exist_ok=True)
+            trace_paths = {
+                r: os.path.join(trace_dir, f"rank_{r}.jsonl")
+                for r in active}
 
         ctx = multiprocessing.get_context(self.start_method)
         mesh = rendezvous = None
@@ -250,7 +331,7 @@ class ProcessMachine:
                 args=(r, active, self.nprocs, self.transport, mesh,
                       rendezvous, self.params, self.topology, program,
                       args, kwargs, statuses[r], send_end, timeout,
-                      self.poll),
+                      self.poll, trace_paths[r]),
                 name=f"repro-rank-{r}", daemon=True)
             procs[r].start()
             send_end.close()
@@ -259,11 +340,21 @@ class ProcessMachine:
         if rendezvous is not None:
             rendezvous[0].close()  # parent's copy; rank 0 holds its own
 
-        outcomes = self._collect(result_conns, timeout, t_start)
-        elapsed = time.monotonic() - t_start
-        self._reap(procs)
-        return self._classify(outcomes, statuses, procs, active, timeout,
-                              elapsed)
+        try:
+            outcomes = self._collect(result_conns, timeout, t_start)
+            elapsed = time.monotonic() - t_start
+            self._reap(procs)
+            result = self._classify(outcomes, statuses, procs, active,
+                                    timeout, elapsed)
+            if trace:
+                from ..obs.runtime import merge_rank_traces
+                result.trace = merge_rank_traces(
+                    [trace_paths[r] for r in active])
+                result.params = self.params
+            return result
+        finally:
+            if trace_tmp is not None:
+                shutil.rmtree(trace_tmp, ignore_errors=True)
 
     # ------------------------------------------------------------------
 
@@ -304,8 +395,18 @@ class ProcessMachine:
                   elapsed) -> RuntimeRunResult:
         failures = {r: o[1] for r, o in outcomes.items()
                     if o[0] in ("error", "died")}
-        blocked = {r: o[1] for r, o in outcomes.items()
-                   if o[0] == "blocked"}
+        blocked: Dict[int, str] = {}
+        queues: Dict[int, Dict[str, Any]] = {}
+        for r, o in outcomes.items():
+            if o[0] != "blocked":
+                continue
+            payload = o[1]
+            if isinstance(payload, dict):
+                blocked[r] = payload.get("detail", "")
+                if payload.get("queues"):
+                    queues[r] = payload["queues"]
+            else:           # plain string from an older rank process
+                blocked[r] = payload
         killed = []
         for r, o in outcomes.items():
             if o[0] == "hung":
@@ -317,7 +418,8 @@ class ProcessMachine:
             raise RankError(failures, blocked)
         if blocked:
             finished = [r for r, o in outcomes.items() if o[0] == "ok"]
-            raise RuntimeHangDiagnosis(timeout, blocked, finished, killed)
+            raise RuntimeHangDiagnosis(timeout, blocked, finished, killed,
+                                       queues=queues)
 
         results: List[Any] = [None] * self.nprocs
         rank_times: Dict[int, float] = {}
@@ -406,6 +508,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "linear:8, hypercube:3")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="wall-clock budget in seconds")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="collect per-rank wall-clock traces and "
+                        "write the merged Chrome/Perfetto JSON here")
     ns = parser.parse_args(argv)
 
     params = None
@@ -418,7 +523,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     machine = ProcessMachine(ns.nprocs, params=params, topology=topology,
                              transport=ns.transport, timeout=ns.timeout)
     try:
-        result = machine.run(program)
+        result = machine.run(program, trace=ns.trace is not None)
     except RankError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -429,6 +534,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{result.time:.3f}s wall")
     for rank, value in enumerate(result.results):
         print(f"rank {rank}: {value!r}")
+    if ns.trace is not None:
+        from ..obs.runtime import write_chrome_trace
+        write_chrome_trace(result.trace, ns.trace)
+        print(f"# merged trace ({result.trace!r}) -> {ns.trace}")
     return 0
 
 

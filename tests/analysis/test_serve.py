@@ -1,0 +1,118 @@
+"""Observatory smoke test: the dashboard server over real artifacts.
+
+Starts ``repro.analysis.serve`` on an ephemeral port against a
+directory of representative artifacts, and checks that the dashboard
+index, every static asset, the artifact API, and merged traces all
+answer HTTP 200 (and that non-whitelisted paths answer 404) before the
+server shuts down cleanly.  Stdlib only on both sides — the same
+constraint the observatory itself lives under.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis import serve as serve_mod
+
+
+@pytest.fixture()
+def artifact_root(tmp_path):
+    (tmp_path / "AUDIT_model.json").write_text(json.dumps({
+        "cells": [{"operation": "bcast", "p": 4, "n": 64, "regret": 1.0,
+                   "chosen": "(4, M)", "best": "(4, M)",
+                   "candidates": [], "mesh_shape": None,
+                   "shape": ["line", 4]}],
+        "regret": {"median": 1.0, "max": 1.0, "count": 1,
+                   "optimal_cells": 1},
+        "max_median_regret": 1.05,
+    }))
+    (tmp_path / "CHAOS_report.json").write_text(json.dumps({
+        "cases": 1, "counts": {"ok": 1, "diagnosed": 0},
+        "violations": [], "gates": {"zero_silent_corruption": True},
+        "records": [{"id": "mesh/bcast/baseline/1", "profile": "baseline",
+                     "schedule": "empty", "outcome": "ok", "time": 0.1}],
+        "passed": True,
+    }))
+    (tmp_path / "demo.trace.json").write_text(
+        json.dumps({"traceEvents": []}))
+    # present in the repo but deliberately absent here: the index must
+    # only advertise what exists
+    return tmp_path
+
+
+@pytest.fixture()
+def server(artifact_root):
+    srv = serve_mod.make_server(str(artifact_root), port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    yield f"http://{host}:{port}"
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+    assert not thread.is_alive(), "server thread failed to shut down"
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as res:
+        return res.status, res.headers["Content-Type"], res.read()
+
+
+def _status(url):
+    try:
+        return _get(url)[0]
+    except urllib.error.HTTPError as err:
+        return err.code
+
+
+class TestObservatory:
+    def test_dashboard_index_renders(self, server):
+        status, ctype, body = _get(server + "/")
+        assert status == 200
+        assert ctype.startswith("text/html")
+        assert b"repro observatory" in body
+        assert b"/static/observatory.js" in body
+
+    def test_static_assets_served(self, server):
+        for name, ctype in [("observatory.css", "text/css"),
+                            ("observatory.js", "application/javascript"),
+                            ("index.html", "text/html")]:
+            status, got_ctype, body = _get(server + "/static/" + name)
+            assert status == 200, name
+            assert got_ctype.startswith(ctype), name
+            assert body
+
+    def test_api_index_lists_only_present_artifacts(self, server):
+        status, _, body = _get(server + "/api/index")
+        assert status == 200
+        idx = json.loads(body)
+        assert [a["name"] for a in idx["artifacts"]] == \
+            ["AUDIT_model.json", "CHAOS_report.json"]
+        assert [t["name"] for t in idx["traces"]] == ["demo.trace.json"]
+
+    def test_each_artifact_endpoint_serves_json(self, server):
+        for name in ["AUDIT_model.json", "CHAOS_report.json",
+                     "demo.trace.json"]:
+            status, ctype, body = _get(server + "/api/artifact/" + name)
+            assert status == 200, name
+            assert ctype.startswith("application/json")
+            json.loads(body)  # valid JSON all the way through
+
+    def test_unknown_routes_404(self, server):
+        assert _status(server + "/api/artifact/secret.json") == 404
+        assert _status(server + "/api/artifact/BENCH_sim.json") == 404
+        assert _status(server + "/api/artifact/..%2Fsetup.py") == 404
+        assert _status(server + "/static/no-such.css") == 404
+        assert _status(server + "/static/serve.py") == 404
+        assert _status(server + "/etc/passwd") == 404
+
+    def test_list_artifacts_against_repo_root(self):
+        # the helper the CLI banner uses; on the repo itself it must
+        # pick up the committed artifacts
+        idx = serve_mod.list_artifacts(".")
+        names = [a["name"] for a in idx["artifacts"]]
+        assert "AUDIT_model.json" in names
+        assert "CHAOS_report.json" in names

@@ -128,6 +128,29 @@ def test_matrix_byte_identical_to_simulator(op, p):
         assert np.array_equal(got_sim, got_real), (op, p, j)
 
 
+@pytest.mark.parametrize("p", [2, 3, 4])
+@pytest.mark.parametrize("op", OPS)
+def test_traced_matrix_is_instrumentation_neutral(op, p):
+    # wall-clock tracing (clock-sync exchange + per-message records)
+    # must not perturb results: the traced real run stays byte-identical
+    # to the simulator oracle
+    prog, _ = _op_prog(op, p)
+    topo = LinearArray(p)
+    sim = Machine(topo, UNIT).run(prog)
+    real = ProcessMachine(p, params=UNIT, topology=topo,
+                          timeout=30).run(prog, trace=True)
+    for j in range(p):
+        got_sim, got_real = sim.results[j], real.results[j]
+        if got_sim is None:
+            assert got_real is None, (op, p, j)
+            continue
+        assert got_sim.dtype == got_real.dtype, (op, p, j)
+        assert np.array_equal(got_sim, got_real), (op, p, j)
+    assert real.trace is not None
+    assert real.trace.ranks == list(range(p))
+    assert real.trace.message_count() > 0
+
+
 def test_matrix_byte_identical_over_tcp():
     prog, _ = _op_prog("allreduce", 4)
     topo = LinearArray(4)
