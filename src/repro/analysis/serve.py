@@ -43,6 +43,7 @@ ARTIFACTS = (
     "BENCH_runtime.json",
     "BENCH_sim.json",
     "CHAOS_report.json",
+    "CHAOS_autopilot.json",
 )
 
 #: suffix admitting merged Chrome traces into the artifact whitelist

@@ -277,6 +277,100 @@ function renderChaos(container, report) {
   }
 }
 
+/* ---------- chaos autopilot ---------- */
+
+const VERDICT_COLORS = {
+  "ok": "#34a35f",
+  "diagnosed-fault": "#5b9dd9",
+  "silent-corruption": "#c54545",
+  "undiagnosed-hang": "#c54545",
+  "sim-runtime-divergence": "#c9762c",
+  "regret-outlier": "#c9a227",
+};
+
+/* coverage count 0 -> dark, deeper counts -> brighter blue */
+function coverageColor(count, max) {
+  if (!count) return "#2a3240";
+  const t = Math.min(1, count / Math.max(max, 1));
+  const c = [42 + 49 * t, 50 + 107 * t, 64 + 153 * t].map(Math.round);
+  return `rgb(${c[0]},${c[1]},${c[2]})`;
+}
+
+function countHeatmap(matrix, colLabel) {
+  /* matrix: {row: {col: count}} */
+  const rows = Object.keys(matrix).sort();
+  const cols = [...new Set(rows.flatMap((r) => Object.keys(matrix[r])))]
+    .sort();
+  const max = Math.max(...rows.flatMap((r) =>
+    cols.map((c) => matrix[r][c] || 0)), 1);
+  const grid = el("div", "heatmap");
+  grid.style.gridTemplateColumns =
+    `120px repeat(${cols.length}, minmax(44px, 90px))`;
+  grid.appendChild(el("div"));
+  for (const c of cols) grid.appendChild(el("div", "collabel", c));
+  for (const r of rows) {
+    grid.appendChild(el("div", "hlabel", r));
+    for (const c of cols) {
+      const count = matrix[r][c] || 0;
+      const cell = el("div", "cell", count ? `${count}` : "");
+      cell.style.background = colLabel === "verdict"
+        ? (count ? VERDICT_COLORS[c] || "#c54545" : "#2a3240")
+        : coverageColor(count, max);
+      cell.title = `${r} / ${c}: ${count} case(s)`;
+      grid.appendChild(cell);
+    }
+  }
+  return grid;
+}
+
+function renderAutopilot(container, report) {
+  const stat = el("p", "statline");
+  const gates = report.gates || {};
+  const gateHtml = Object.entries(gates).map(([k, v]) =>
+    `${k} <span class="${v ? "gate-pass" : "gate-fail"}">` +
+    `${v ? "PASS" : "FAIL"}</span>`).join(" &middot; ");
+  const verdicts = Object.entries(report.verdicts || {})
+    .map(([k, v]) => `${v} ${k}`).join(", ");
+  stat.innerHTML = `seed <b>${report.seed}</b>: ${report.cases} new ` +
+    `cases (${verdicts}); corpus <b>${report.store_records}</b> records, ` +
+    `coverage <b>${report.explored_cells}/${report.possible_cells}</b> ` +
+    `cells &middot; ${gateHtml}`;
+  container.appendChild(stat);
+
+  if (report.cell_matrix && Object.keys(report.cell_matrix).length) {
+    container.appendChild(el("h3", "",
+      "corpus coverage (topology class x collective)"));
+    container.appendChild(countHeatmap(report.cell_matrix, "op"));
+  }
+  if (report.profile_matrix && Object.keys(report.profile_matrix).length) {
+    container.appendChild(el("h3", "",
+      "verdicts per fault profile"));
+    container.appendChild(countHeatmap(report.profile_matrix, "verdict"));
+  }
+
+  const findings = report.open_findings || [];
+  container.appendChild(el("h3", "",
+    `open findings (${findings.length})`));
+  if (!findings.length) {
+    container.appendChild(el("p", "statline",
+      "none — every case ended clean or with a typed diagnosis."));
+  } else {
+    const ul = el("ul");
+    for (const f of findings) {
+      const li = el("li");
+      li.appendChild(el("code", "", f.id));
+      li.appendChild(document.createTextNode(
+        ` ${f.verdict}: ${JSON.stringify(f.topo)} ${f.op} ` +
+        `(${f.profile})` +
+        (f.minimized_nranks
+          ? ` — minimized to ${f.minimized_nranks} ranks` : "") +
+        (f.golden ? " [golden reproducer]" : "")));
+      ul.appendChild(li);
+    }
+    container.appendChild(ul);
+  }
+}
+
 /* ---------- calibration drift ---------- */
 
 function renderDrift(container, bench) {
@@ -358,11 +452,12 @@ async function main() {
 
   const get = (name) => present.has(name)
     ? fetchJson(`/api/artifact/${name}`) : Promise.resolve(null);
-  const [auditModel, auditRuntime, benchRuntime, benchSim, chaos] =
+  const [auditModel, auditRuntime, benchRuntime, benchSim, chaos,
+         autopilot] =
     await Promise.all([
       get("AUDIT_model.json"), get("AUDIT_runtime.json"),
       get("BENCH_runtime.json"), get("BENCH_sim.json"),
-      get("CHAOS_report.json"),
+      get("CHAOS_report.json"), get("CHAOS_autopilot.json"),
     ]);
 
   if (auditModel || auditRuntime) {
@@ -385,6 +480,10 @@ async function main() {
   if (chaos) {
     $("sec-chaos").hidden = false;
     renderChaos($("chaos"), chaos);
+  }
+  if (autopilot) {
+    $("sec-autopilot").hidden = false;
+    renderAutopilot($("autopilot"), autopilot);
   }
   if (index.traces.length) {
     $("sec-traces").hidden = false;

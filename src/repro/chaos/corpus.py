@@ -1,0 +1,196 @@
+"""Persistent, versioned corpus store for autopilot records.
+
+A JSONL file: a header line identifying the format, then one record per
+line keyed by the case's content hash.  The serialization is canonical
+(sorted keys, no whitespace, records in id order) and records carry no
+wall-clock state, so **the same seed produces the same bytes** — the
+CI reproducibility gate diffs two stores directly.
+
+Writes are atomic (temp file + ``os.replace`` in the store's own
+directory, fsynced first), the same durability discipline as the
+runtime calibration profile store: a crashed autopilot never leaves a
+torn corpus behind.
+
+The store also answers the generator's coverage queries: which
+(topology class x collective x fault profile) cells have been explored,
+and the full coverage signature (adding the verdict axis) the
+observatory renders as a heatmap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Set, Tuple
+
+from .executor import FINDING_VERDICTS
+
+#: kind/version header written as the first JSONL line
+STORE_KIND = "repro-chaos-corpus"
+STORE_VERSION = 1
+
+#: environment override for the default store location
+ENV_STORE = "REPRO_CHAOS_CORPUS"
+
+DEFAULT_STORE = "CHAOS_corpus.jsonl"
+
+
+def default_store_path() -> str:
+    return os.environ.get(ENV_STORE, DEFAULT_STORE)
+
+
+def _umask() -> int:
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+class CorpusStore:
+    """Hash-keyed record store with canonical serialization.
+
+    Parameters
+    ----------
+    path:
+        JSONL file location (created on first :meth:`save`).  ``None``
+        resolves ``$REPRO_CHAOS_CORPUS`` then :data:`DEFAULT_STORE`.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path if path is not None else default_store_path()
+        self.records: Dict[str, Dict] = {}
+        self.load()
+
+    # -- persistence ---------------------------------------------------
+
+    def load(self) -> None:
+        """(Re)read the file; tolerant of a missing or foreign file."""
+        self.records = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except (OSError, UnicodeDecodeError):
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return
+        if not (isinstance(header, dict)
+                and header.get("kind") == STORE_KIND):
+            return
+        for line in lines[1:]:
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a foreign writer; keep the rest
+            if isinstance(rec, dict) and "id" in rec and "verdict" in rec:
+                self.records[rec["id"]] = rec
+
+    def save(self) -> None:
+        """Atomically rewrite the store, canonically serialized."""
+        header = {"kind": STORE_KIND, "version": STORE_VERSION}
+        lines = [json.dumps(header, sort_keys=True,
+                            separators=(",", ":"))]
+        for rid in sorted(self.records):
+            lines.append(json.dumps(self.records[rid], sort_keys=True,
+                                    separators=(",", ":")))
+        blob = "\n".join(lines) + "\n"
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory,
+                                   prefix=".chaos-corpus-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            # mkstemp creates 0600; give the store normal artifact
+            # permissions (umask still applies)
+            os.chmod(tmp, 0o666 & ~_umask())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- record access -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, rid: str) -> bool:
+        return rid in self.records
+
+    def get(self, rid: str) -> Optional[Dict]:
+        return self.records.get(rid)
+
+    def add(self, record: Dict) -> bool:
+        """Insert a record; returns False when the id already exists
+        (an existing record is never overwritten — replays are handled
+        by the caller comparing against it)."""
+        rid = record["id"]
+        if rid in self.records:
+            return False
+        self.records[rid] = record
+        return True
+
+    def update(self, record: Dict) -> None:
+        """Overwrite (or insert) the record with this id."""
+        self.records[record["id"]] = record
+
+    # -- coverage ------------------------------------------------------
+
+    @staticmethod
+    def _cell(record: Dict) -> Tuple[str, str, str]:
+        case = record.get("case", {})
+        topo = case.get("topo") or ("?",)
+        return (topo[0], case.get("op", "?"), case.get("profile", "?"))
+
+    def explored_cells(self) -> Set[Tuple[str, str, str]]:
+        """(topology class, op, profile) cells with at least one record
+        — the generator's bias input."""
+        return {self._cell(r) for r in self.records.values()}
+
+    def coverage(self) -> Dict[str, Dict[str, int]]:
+        """Record counts along each coverage axis (plus verdicts)."""
+        axes: Dict[str, Dict[str, int]] = {
+            "topo_class": {}, "op": {}, "profile": {}, "verdict": {}}
+
+        def bump(axis: str, key: str) -> None:
+            axes[axis][key] = axes[axis].get(key, 0) + 1
+
+        for rec in self.records.values():
+            topo_class, op, profile = self._cell(rec)
+            bump("topo_class", topo_class)
+            bump("op", op)
+            bump("profile", profile)
+            bump("verdict", rec.get("verdict", "?"))
+        return axes
+
+    def cell_matrix(self) -> Dict[str, Dict[str, int]]:
+        """topology class -> op -> count (the heatmap the observatory
+        draws); profiles are folded out."""
+        out: Dict[str, Dict[str, int]] = {}
+        for rec in self.records.values():
+            topo_class, op, _ = self._cell(rec)
+            row = out.setdefault(topo_class, {})
+            row[op] = row.get(op, 0) + 1
+        return out
+
+    def findings(self) -> List[Dict]:
+        """Records whose verdict is a finding, id order (golden
+        reproducers included)."""
+        return [self.records[rid] for rid in sorted(self.records)
+                if self.records[rid].get("verdict") in FINDING_VERDICTS]
+
+    def golden(self) -> List[Dict]:
+        """Minimized reproducers promoted by the autopilot, id order."""
+        return [self.records[rid] for rid in sorted(self.records)
+                if self.records[rid].get("golden")]
+
+
+__all__ = ["CorpusStore", "DEFAULT_STORE", "ENV_STORE", "STORE_KIND",
+           "STORE_VERSION", "default_store_path"]

@@ -1,0 +1,224 @@
+"""Case execution and verdict classification for the chaos autopilot.
+
+:func:`execute_case` runs one :class:`~repro.chaos.generator.ChaosCase`
+on the simulator, checks the outcome against the analytic oracles of
+:mod:`repro.chaos.oracles`, and classifies it into one of
+:data:`VERDICTS`:
+
+``ok``
+    the run completed and every surviving member's payload matches;
+``diagnosed-fault``
+    the fault layer produced a *typed* diagnosis — either the engine
+    raised :class:`~repro.sim.faults.FaultDiagnosis`, or payloads
+    mismatch but the fault report's ``tampered`` records attribute the
+    corruption to an injected adversary (Byzantine detection: a tracked
+    tamper is a diagnosis, never a silent failure);
+``silent-corruption``
+    payloads mismatch and nothing in the fault report explains it — the
+    library returned wrong answers without telling anyone.  Always a
+    bug;
+``undiagnosed-hang``
+    the run died with an untyped error (bare deadlock, engine event
+    limit, rank crash) under a schedule that injected faults — the
+    diagnosis machinery failed to attribute it.  Always a bug;
+``sim-runtime-divergence``
+    the real-process backend returned different payloads than the
+    simulator for the same case (differential check, small worlds
+    only);
+``regret-outlier``
+    on a fault-free case, ``algorithm="auto"`` picked a strategy whose
+    *measured* time exceeds the measured best candidate by more than
+    ``regret_threshold`` — a selection-quality regression, found by the
+    same measure-every-candidate sweep as ``repro.analysis.audit``.
+
+Records carry no wall-clock state (sim times only), so a seeded run
+produces byte-identical records on every machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.groups import classify
+from repro.core.selection import selector_for
+from repro.sim import (DeadlockError, FaultDiagnosis, Machine,
+                       SimulationLimitError, preset)
+
+from .generator import ChaosCase
+from .oracles import make_program, mismatched_ranks
+
+VERDICTS = ("ok", "diagnosed-fault", "silent-corruption",
+            "undiagnosed-hang", "sim-runtime-divergence", "regret-outlier")
+
+#: verdicts the autopilot records as findings (everything but a pass
+#: and an expected typed diagnosis)
+FINDING_VERDICTS = ("silent-corruption", "undiagnosed-hang",
+                    "sim-runtime-divergence", "regret-outlier")
+
+#: verdicts that fail the CI gate outright: the library lied (wrong
+#: answer with no diagnosis) or hung without attribution
+FATAL_VERDICTS = ("silent-corruption", "undiagnosed-hang")
+
+
+def _mesh_shape(case: ChaosCase, topo):
+    """(rows, cols) when the case's member set is mesh-aligned."""
+    struct = classify(case.members(), topo)
+    if struct.kind == "submesh":
+        return struct.shape
+    if struct.is_mesh_aligned:  # a row or column: 1 x k highway
+        k = len(case.members())
+        return (1, k) if struct.kind == "row" else (k, 1)
+    return None
+
+
+def _check_regret(case: ChaosCase, record: Dict, sim_time: float,
+                  threshold: float) -> Optional[str]:
+    """Measure every ranked candidate; flag auto picks worse than
+    ``threshold`` x the measured best (the audit layer's regret sweep,
+    run opportunistically on fault-free cases)."""
+    topo = case.topology()
+    params = preset(case.params)
+    itemsize = np.dtype(case.dtype).itemsize
+    sel = selector_for(params, itemsize=itemsize)
+    p = len(case.members())
+    choices = sel.ranked(case.op, p, case.n,
+                         mesh_shape=_mesh_shape(case, topo))
+    if len(choices) < 2:
+        return None
+    best = None
+    for c in choices:
+        run = Machine(topo, params).run(
+            make_program(case, algorithm=c.strategy))
+        if best is None or run.time < best[0]:
+            best = (run.time, str(c.strategy))
+    regret = sim_time / best[0] if best[0] > 0 else 1.0
+    record["regret"] = {
+        "auto_time": sim_time,
+        "best_time": best[0],
+        "best_strategy": best[1],
+        "ratio": regret,
+        "candidates": len(choices),
+    }
+    if regret > threshold:
+        return "regret-outlier"
+    return None
+
+
+def _check_runtime(case: ChaosCase, record: Dict, sim_results,
+                   timeout: float) -> Optional[str]:
+    """Differential slice: replay on real processes, compare payloads."""
+    from repro.runtime import ProcessMachine
+
+    schedule = case.schedule()
+    machine = ProcessMachine(case.nranks, params=preset(case.params),
+                             topology=case.topology(), timeout=timeout,
+                             faults=schedule if not schedule.is_empty
+                             else None)
+    try:
+        run = machine.run(make_program(case))
+    except Exception as exc:  # noqa: BLE001 — any runtime failure diverges
+        record["runtime"] = {"ran": True, "error": type(exc).__name__}
+        return "sim-runtime-divergence"
+    divergent = []
+    for rank in case.members():
+        a, b = sim_results[rank], run.results[rank]
+        same = (a is None and b is None) or (
+            a is not None and b is not None
+            and np.array_equal(np.asarray(a), np.asarray(b)))
+        if not same:
+            divergent.append(rank)
+    record["runtime"] = {"ran": True, "divergent_ranks": divergent}
+    if divergent:
+        return "sim-runtime-divergence"
+    return None
+
+
+#: world sizes eligible for the real-process differential slice (each
+#: rank is an OS process; keep the slice cheap)
+RUNTIME_SLICE_MAX_P = 4
+
+#: profiles replayable on the real backend: fault-free, or adversaries
+#: (which act at send-post on both backends); clock-scheduled faults
+#: have no wall-clock counterpart
+RUNTIME_SLICE_PROFILES = ("none", "byzantine")
+
+
+def execute_case(case: ChaosCase, *, runtime_slice: bool = False,
+                 audit: bool = True, regret_threshold: float = 1.5,
+                 runtime_timeout: float = 60.0) -> Dict:
+    """Run one case and classify it.  Returns the corpus record dict.
+
+    ``runtime_slice`` additionally replays the case on the real
+    multi-process backend when it is small and replayable there
+    (:data:`RUNTIME_SLICE_MAX_P` ranks, :data:`RUNTIME_SLICE_PROFILES`)
+    and compares payloads rank by rank.  ``audit`` enables the
+    selection-regret sweep on fault-free whole-world cases.
+    """
+    record: Dict = {"id": case.case_hash, "case": case.to_dict(),
+                    "verdict": None, "sim_time": None}
+    schedule = case.schedule()
+    machine = Machine(case.topology(), preset(case.params))
+    try:
+        run = machine.run(make_program(case),
+                          faults=None if schedule.is_empty else schedule)
+    except FaultDiagnosis as exc:
+        record["verdict"] = "diagnosed-fault"
+        record["diagnosis"] = exc.to_dict()
+        return record
+    except (DeadlockError, SimulationLimitError, RuntimeError) as exc:
+        record["verdict"] = "undiagnosed-hang"
+        record["error"] = {"type": type(exc).__name__,
+                           "message": str(exc)[:500]}
+        return record
+
+    record["sim_time"] = run.time
+    report = run.fault_report
+    crashed = frozenset(report.crashed) if report is not None \
+        else frozenset()
+    tampered = list(report.tampered) if report is not None else []
+    if tampered:
+        record["tampered"] = [t.describe() for t in tampered]
+    # the differential slice runs before oracle classification so it
+    # also covers attributed corruption: the seeded adversary must
+    # tamper bit-identically on both backends
+    if (runtime_slice and case.nranks <= RUNTIME_SLICE_MAX_P
+            and case.profile in RUNTIME_SLICE_PROFILES):
+        v = _check_runtime(case, record, run.results, runtime_timeout)
+        if v is not None:
+            record["verdict"] = v
+            return record
+    bad = mismatched_ranks(case, run.results, crashed=crashed)
+    if bad:
+        record["corrupt_ranks"] = bad
+        if tampered:
+            # corrupted payloads, but the fault layer *tracked* every
+            # tampering — a typed detection, not a silent failure
+            record["verdict"] = "diagnosed-fault"
+            record["corruption_attributed"] = True
+        else:
+            record["verdict"] = "silent-corruption"
+        return record
+
+    verdict = "ok"
+    if audit and case.profile == "none" and case.group is None:
+        v = _check_regret(case, record, run.time, regret_threshold)
+        if v is not None:
+            verdict = v
+    record["verdict"] = verdict
+    return record
+
+
+def replay(record_or_case, **kwargs) -> Dict:
+    """Re-execute a stored record's case (or a bare case) afresh."""
+    if isinstance(record_or_case, ChaosCase):
+        case = record_or_case
+    else:
+        case = ChaosCase.from_dict(record_or_case["case"])
+    return execute_case(case, **kwargs)
+
+
+__all__ = ["VERDICTS", "FINDING_VERDICTS", "FATAL_VERDICTS",
+           "execute_case", "replay", "RUNTIME_SLICE_MAX_P",
+           "RUNTIME_SLICE_PROFILES"]

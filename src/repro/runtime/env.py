@@ -82,12 +82,19 @@ class ProcessEnv:
         Optional soft deadline in seconds of wall time since
         construction; a blocked wait past it raises
         :class:`RankDeadlineError`.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSchedule`.  Only its
+        *adversarial* events (ByzantineRank / WithholdingRank /
+        MisroutingRank) apply on this backend — clock-scheduled link
+        and crash faults have no wall-clock counterpart here.  The
+        contract mirrors the simulator's: an empty (or
+        adversary-free) schedule is strictly passive.
     """
 
     def __init__(self, rank: int, nranks: int, transport: RankTransport,
                  params=None, topology=None, status=None,
                  deadline: Optional[float] = None,
-                 poll: float = 0.05, tracer=None):
+                 poll: float = 0.05, tracer=None, faults=None):
         self.rank = rank
         self._nranks = nranks
         self._transport = transport
@@ -114,6 +121,14 @@ class ProcessEnv:
         #: wall time of the last matched or drained frame (None until
         #: the first one) — feeds hang diagnoses and the trace
         self.last_progress_s: Optional[float] = None
+        #: Byzantine-model per-send machinery
+        #: (:class:`~repro.sim.faults.AdversaryState`), None when the
+        #: schedule declares no adversarial ranks — one attribute check
+        #: per send either way, so fault-free runs stay untouched
+        self._adversary = None
+        if faults is not None and faults.has_adversaries:
+            from ..sim.faults import AdversaryState
+            self._adversary = AdversaryState(faults)
 
     # ------------------------------------------------------------------
     # identity / clock
@@ -136,11 +151,31 @@ class ProcessEnv:
     # requests (the repro.core.protocol surface)
     # ------------------------------------------------------------------
 
+    @property
+    def tampered(self):
+        """Adversarial applications this rank performed (empty list
+        without an adversarial schedule) — the runtime analogue of
+        ``FaultReport.tampered``."""
+        return self._adversary.tampered if self._adversary is not None \
+            else []
+
     def isend(self, dst: int, data: Any, tag: int = 0,
               nbytes: Optional[float] = None) -> CommHandle:
         self._check_peer(dst)
         if nbytes is None:
             nbytes = payload_nbytes(data)
+        if self._adversary is not None:
+            acted = self._adversary.act(self.rank, dst, tag, data,
+                                        self.now, self._nranks)
+            if acted is not None:
+                tamper, dst, data = acted
+                if tamper.kind == "withholding-rank":
+                    # the sender proceeds as if delivered; nothing
+                    # reaches the transport
+                    h = CommHandle("send", dst, tag, data, nbytes,
+                                   self.now)
+                    h.done = True
+                    return h
         h = CommHandle("send", dst, tag, data, nbytes, self.now)
         if self.tracer is not None:
             self.tracer.send_post(self.now, dst, tag, nbytes,

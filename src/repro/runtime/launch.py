@@ -148,7 +148,7 @@ class RuntimeRunResult:
 
 def _child_main(rank, active, nranks, transport_kind, mesh, rendezvous,
                 params, topology, program, args, kwargs, status,
-                result_conn, deadline, poll, trace_path=None):
+                result_conn, deadline, poll, trace_path=None, faults=None):
     tr = None
     tracer = None
     try:
@@ -160,7 +160,7 @@ def _child_main(rank, active, nranks, transport_kind, mesh, rendezvous,
                                  rendezvous_listener=listener)
         env = ProcessEnv(rank, nranks, tr, params=params,
                          topology=topology, status=status,
-                         deadline=deadline, poll=poll)
+                         deadline=deadline, poll=poll, faults=faults)
         if trace_path is not None:
             # Align clocks *before* attaching the tracer so the
             # ping-pong probes never clutter the trace; the exchange
@@ -237,7 +237,7 @@ class ProcessMachine:
                  timeout: float = 60.0, poll: float = 0.02,
                  start_method: str = "fork", hard_grace: float = 5.0,
                  use_profile: Optional[bool] = None,
-                 trace: bool = False):
+                 trace: bool = False, faults=None):
         if nprocs is None:
             if topology is None:
                 raise ValueError("nprocs or topology required")
@@ -270,6 +270,10 @@ class ProcessMachine:
         #: default for :meth:`run`'s ``trace=`` — collect per-rank
         #: wall-clock traces and merge them (docs/observability.md)
         self.trace = trace
+        #: optional FaultSchedule whose *adversarial* events apply in
+        #: every rank's env (docs/robustness.md); link/crash events
+        #: have no wall-clock counterpart and are ignored here
+        self.faults = faults
 
     @property
     def nnodes(self) -> int:
@@ -331,7 +335,7 @@ class ProcessMachine:
                 args=(r, active, self.nprocs, self.transport, mesh,
                       rendezvous, self.params, self.topology, program,
                       args, kwargs, statuses[r], send_end, timeout,
-                      self.poll, trace_paths[r]),
+                      self.poll, trace_paths[r], self.faults),
                 name=f"repro-rank-{r}", daemon=True)
             procs[r].start()
             send_end.close()

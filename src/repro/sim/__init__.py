@@ -9,8 +9,9 @@ injection and one ejection port per node, and ``gamma``-cost arithmetic.
 
 from .engine import (CommHandle, DeadlockError, Engine, RankEnv,
                      SimulationLimitError, payload_nbytes)
-from .faults import (DeadLetter, FaultDiagnosis, FaultReport, FaultSchedule,
-                     LinkFault, LinkSlowdown, NodeCrash)
+from .faults import (ByzantineRank, DeadLetter, FaultDiagnosis, FaultReport,
+                     FaultSchedule, LinkFault, LinkSlowdown, MisroutingRank,
+                     NodeCrash, Tamper, WithholdingRank)
 from .machine import Machine, RunResult
 from .network import FluidNetwork, Flow
 from .params import (DELTA, IPSC860, PARAGON, PRESETS, UNIT, MachineParams,
@@ -23,8 +24,9 @@ from .trace import (FaultRecord, MessageRecord, SpanRecord, Tracer,
 __all__ = [
     "CommHandle", "DeadlockError", "Engine", "RankEnv",
     "SimulationLimitError", "payload_nbytes",
-    "DeadLetter", "FaultDiagnosis", "FaultReport", "FaultSchedule",
-    "LinkFault", "LinkSlowdown", "NodeCrash",
+    "ByzantineRank", "DeadLetter", "FaultDiagnosis", "FaultReport",
+    "FaultSchedule", "LinkFault", "LinkSlowdown", "MisroutingRank",
+    "NodeCrash", "Tamper", "WithholdingRank",
     "Machine", "RunResult",
     "FluidNetwork", "Flow",
     "DELTA", "IPSC860", "PARAGON", "PRESETS", "UNIT", "MachineParams",

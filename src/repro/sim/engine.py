@@ -411,6 +411,22 @@ class Engine:
             if self.now > self._last_done_time:
                 self._last_done_time = self.now
             return
+        except (DeadlockError, SimulationLimitError):
+            raise
+        except Exception as exc:
+            fs = self._faults
+            if fs is not None and fs.injected:
+                # a rank program blowing up under active injection is a
+                # fault effect (e.g. a misrouted block with the wrong
+                # shape) — surface it as a typed diagnosis, cause chained
+                raise FaultDiagnosis(
+                    f"rank {proc.rank} raised {type(exc).__name__} "
+                    f"under injected faults: {exc}",
+                    injected=fs.injected,
+                    dead_letters=fs.dead_letters,
+                    crashed=sorted(fs.dead),
+                    tampered=fs.tampered) from exc
+            raise
         self._dispatch(proc, req)
 
     def _dispatch(self, proc: _Process, req: Any) -> None:
@@ -437,6 +453,20 @@ class Engine:
                    nbytes: float) -> CommHandle:
         if not 0 <= dst < self._nnodes:
             self.topology.check_node(dst)  # raises with the full message
+        fs = self._faults
+        if fs is not None and fs.adversary is not None:
+            acted = fs.adversary.act(src, dst, tag, data, self.now,
+                                     self._nnodes)
+            if acted is not None:
+                tamper, dst, data = acted
+                self._log_fault(tamper.kind, tamper.describe())
+                if tamper.kind == "withholding-rank":
+                    # the sender's handle completes as if delivered; the
+                    # message itself never enters the matching queues
+                    h = CommHandle("send", dst, tag, data, nbytes, self.now)
+                    self.messages_sent += 1
+                    h._complete(self)
+                    return h
         h = CommHandle("send", dst, tag, data, nbytes, self.now)
         self.messages_sent += 1
         rec = None
@@ -643,6 +673,9 @@ class Engine:
             lines.append(f"injected fault: {desc}")
         for dl in fs.dead_letters:
             lines.append(f"dead letter: {dl.describe()}")
+        tampered = fs.tampered
+        for tm in tampered:
+            lines.append(f"tampered: {tm.describe()}")
         return FaultDiagnosis(
             "\n".join(lines),
             injected=fs.injected,
@@ -650,7 +683,8 @@ class Engine:
             dead_letters=fs.dead_letters,
             crashed=crashed,
             op_spans=op_spans,
-            watchdog=watchdog)
+            watchdog=watchdog,
+            tampered=tampered)
 
     @staticmethod
     def _find_cycle(edges: Dict[int, List[int]]) -> Optional[List[int]]:

@@ -10,7 +10,12 @@ events —
 * :class:`LinkSlowdown` — a link's bandwidth degrades by ``factor``
   (per-link beta multiplier), permanently or transiently;
 * :class:`NodeCrash` — a node dies: its rank program stops executing and
-  every in-flight message to or from it is lost
+  every in-flight message to or from it is lost;
+* :class:`ByzantineRank` — a rank corrupts payloads before sending them
+  (Byzantine data fault: the message flows normally, the bytes lie);
+* :class:`WithholdingRank` — a rank silently drops sends it was supposed
+  to make (the sender proceeds as if delivered; the receiver starves);
+* :class:`MisroutingRank` — a rank delivers sends to the wrong peer
 
 — plus whole-run knobs: ``jitter`` (seeded per-message extra startup
 latency), ``max_retries``/``backoff`` (message-layer retransmission of
@@ -37,7 +42,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Dict, FrozenSet, List, Optional, Sequence, Tuple,
+                    Union)
+
+import numpy as np
 
 Channel = Tuple[int, int]
 
@@ -123,12 +131,117 @@ class NodeCrash:
         return f"node {self.node} crashed at t={self.t:g}"
 
 
-FaultEvent = Union[LinkFault, LinkSlowdown, NodeCrash]
+def _check_adversary(ev) -> None:
+    if ev.rank < 0:
+        raise ValueError(f"adversarial rank must be non-negative "
+                         f"(got {ev.rank})")
+    _check_time(ev.t, math.inf)
+    if ev.every < 1:
+        raise ValueError(f"every must be >= 1 (got {ev.every})")
+    if ev.start < 0:
+        raise ValueError(f"start must be non-negative (got {ev.start})")
+
+
+def _cadence(ev) -> str:
+    parts = []
+    if ev.every != 1:
+        parts.append(f"every {ev.every} sends")
+    if ev.start != 0:
+        parts.append(f"from send #{ev.start}")
+    if ev.t != 0.0:
+        parts.append(f"from t={ev.t:g}")
+    return " " + ", ".join(parts) if parts else ""
+
+
+@dataclass(frozen=True)
+class ByzantineRank:
+    """Rank ``rank`` corrupts array payloads before sending them.
+
+    The send itself proceeds normally — same destination, same size,
+    same timing — but one element of a *copy* of the payload has its
+    high-order byte flipped (sign/exponent for floats), so the damage
+    survives any sane numeric tolerance.  Selection by the matched
+    cadence: active from simulated time ``t``, on the rank's
+    ``start``-th send and every ``every``-th send after it.  The
+    corruption value stream derives from the schedule seed and the
+    rank's send counter, so the simulator and the process backend
+    corrupt identically (docs/robustness.md).
+    """
+
+    rank: int
+    t: float = 0.0
+    every: int = 1
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        _check_adversary(self)
+
+    def describe(self) -> str:
+        return (f"byzantine rank {self.rank} corrupting payloads"
+                + _cadence(self))
+
+
+@dataclass(frozen=True)
+class WithholdingRank:
+    """Rank ``rank`` silently drops sends matching the cadence.
+
+    The withholding rank's own handle completes immediately — from its
+    point of view the message was delivered — while the receiver's
+    matching recv never completes.  This is the "silent omission" half
+    of the Byzantine model: nothing crashes, no link fails, the message
+    simply never existed.
+    """
+
+    rank: int
+    t: float = 0.0
+    every: int = 1
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        _check_adversary(self)
+
+    def describe(self) -> str:
+        return (f"rank {self.rank} withholding (silently dropping) sends"
+                + _cadence(self))
+
+
+@dataclass(frozen=True)
+class MisroutingRank:
+    """Rank ``rank`` delivers matching sends to the wrong peer.
+
+    The payload goes to ``(dst + 1) % nranks`` (skipping the sender
+    itself when the world is big enough): the intended receiver
+    starves while an innocent bystander accumulates an unexpected
+    message.
+    """
+
+    rank: int
+    t: float = 0.0
+    every: int = 1
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        _check_adversary(self)
+
+    def describe(self) -> str:
+        return (f"rank {self.rank} misrouting sends to the wrong peer"
+                + _cadence(self))
+
+
+FaultEvent = Union[LinkFault, LinkSlowdown, NodeCrash,
+                   ByzantineRank, WithholdingRank, MisroutingRank]
+
+#: the adversarial (Byzantine-model) event classes: applied per-send by
+#: the message layer of *both* backends, not scheduled on the sim clock
+ADVERSARIAL_EVENTS = (ByzantineRank, WithholdingRank, MisroutingRank)
 
 _EVENT_KINDS = {
     "link-fault": LinkFault,
     "link-slowdown": LinkSlowdown,
     "node-crash": NodeCrash,
+    "byzantine-rank": ByzantineRank,
+    "withholding-rank": WithholdingRank,
+    "misrouting-rank": MisroutingRank,
 }
 
 
@@ -213,6 +326,15 @@ class FaultSchedule:
         return frozenset(ev.node for ev in self.events
                          if isinstance(ev, NodeCrash))
 
+    def adversarial_ranks(self) -> FrozenSet[int]:
+        """Every rank the schedule makes adversarial, of any flavour."""
+        return frozenset(ev.rank for ev in self.events
+                         if isinstance(ev, ADVERSARIAL_EVENTS))
+
+    @property
+    def has_adversaries(self) -> bool:
+        return any(isinstance(ev, ADVERSARIAL_EVENTS) for ev in self.events)
+
     def pricing_beta_multiplier(self) -> float:
         """Effective beta multiplier the cost model should price with.
 
@@ -260,10 +382,28 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, d: Dict) -> "FaultSchedule":
+        known = {"events", "jitter", "seed", "max_retries", "backoff",
+                 "deadline"}
+        extra = set(d) - known
+        if extra:
+            raise ValueError(
+                f"unknown FaultSchedule fields {sorted(extra)}; expected "
+                f"a subset of {sorted(known)}")
         events = []
         for e in d.get("events", ()):
             e = dict(e)
-            cls_ = _EVENT_KINDS[e.pop("kind")]
+            kind = e.pop("kind", None)
+            if kind not in _EVENT_KINDS:
+                raise ValueError(
+                    f"unknown fault event kind {kind!r}; expected one of "
+                    f"{sorted(_EVENT_KINDS)}")
+            cls_ = _EVENT_KINDS[kind]
+            fields = set(cls_.__dataclass_fields__)
+            extra = set(e) - fields
+            if extra:
+                raise ValueError(
+                    f"unknown {kind} fields {sorted(extra)}; expected a "
+                    f"subset of {sorted(fields)}")
             for k, v in e.items():
                 if v == "inf":
                     e[k] = math.inf
@@ -299,6 +439,140 @@ class DeadLetter:
                 f"{self.nbytes:g}B at t={self.t:g}: {self.reason}")
 
 
+@dataclass(frozen=True)
+class Tamper:
+    """One adversarial application: what a Byzantine-model rank did to
+    one send.  ``dst`` is the *intended* destination (for misrouting,
+    ``detail`` names where the message actually went)."""
+
+    t: float
+    kind: str          #: "byzantine-rank" | "withholding-rank" | "misrouting-rank"
+    src: int
+    dst: int
+    tag: int
+    detail: str
+
+    def describe(self) -> str:
+        return (f"{self.kind} {self.src}->{self.dst} tag={self.tag} "
+                f"at t={self.t:g}: {self.detail}")
+
+
+def corrupt_payload(data: Any, rng: random.Random):
+    """Deterministically corrupt a *copy* of an array payload.
+
+    Picks one element from the seeded stream and XORs its high-order
+    byte with ``0xA5`` — flipping sign/exponent bits for floats and
+    high-order magnitude bits for ints, so the damage is far outside
+    any validation tolerance.  Returns ``(corrupted_copy, description)``
+    or ``(None, None)`` when the payload is not a corruptible array
+    (None markers, zero-size buffers, non-numeric dtypes pass through
+    untouched).
+    """
+    if not isinstance(data, np.ndarray) or data.size == 0 \
+            or data.dtype.kind not in "fiu":
+        return None, None
+    out = data.copy()
+    idx = rng.randrange(out.size)
+    flat = out.reshape(-1)
+    old = flat[idx]
+    raw = flat.view(np.uint8)
+    itemsize = out.dtype.itemsize
+    # native little-endian: the element's last byte is its high byte
+    hi = idx * itemsize + (itemsize - 1 if out.dtype.byteorder != ">"
+                           else 0)
+    raw[hi] ^= 0xA5
+    return out, f"element [{idx}] {old!r} -> {flat[idx]!r}"
+
+
+class AdversaryState:
+    """Per-run Byzantine-model machinery, shared by both backends.
+
+    The simulator's engine consults it in ``_post_send``; the process
+    backend's :class:`~repro.runtime.env.ProcessEnv` consults it in
+    ``isend``.  Determinism across backends: the decision for a rank's
+    ``k``-th send depends only on ``(schedule, src, k, now >= t)`` and
+    the corruption bytes only on ``(schedule.seed, src, k)`` — not on
+    the engine's jitter stream — so given the same algorithm (same
+    per-rank send sequence) both backends tamper identically.
+    """
+
+    __slots__ = ("seed", "by_rank", "counters", "tampered")
+
+    def __init__(self, schedule: FaultSchedule):
+        self.seed = schedule.seed
+        #: rank -> its adversarial events, in schedule order
+        self.by_rank: Dict[int, List] = {}
+        for ev in schedule.events:
+            if isinstance(ev, ADVERSARIAL_EVENTS):
+                self.by_rank.setdefault(ev.rank, []).append(ev)
+        #: per-adversarial-rank send counters (absent ranks cost nothing)
+        self.counters: Dict[int, int] = {}
+        self.tampered: List[Tamper] = []
+
+    @property
+    def empty(self) -> bool:
+        return not self.by_rank
+
+    def act(self, src: int, dst: int, tag: int, data: Any, now: float,
+            nranks: int) -> Optional[Tuple[Tamper, int, Any]]:
+        """Decide what rank ``src`` does to this send.
+
+        Returns ``None`` (send untouched) or ``(tamper, dst, data)``
+        with the possibly-redirected destination and possibly-corrupted
+        payload; ``tamper.kind == "withholding-rank"`` means the caller
+        must complete the sender's handle without transferring anything.
+        Precedence when one rank matches several events on the same
+        send: withhold > misroute > corrupt (a dropped message can't
+        also be delivered wrong).
+        """
+        evs = self.by_rank.get(src)
+        if evs is None:
+            return None
+        k = self.counters.get(src, 0)
+        self.counters[src] = k + 1
+        withhold = misroute = corrupt = None
+        for ev in evs:
+            if now < ev.t or k < ev.start or (k - ev.start) % ev.every:
+                continue
+            if isinstance(ev, WithholdingRank):
+                withhold = ev
+            elif isinstance(ev, MisroutingRank):
+                misroute = ev
+            else:
+                corrupt = ev
+        if withhold is not None:
+            tamper = Tamper(now, "withholding-rank", src, dst, tag,
+                            f"send #{k} silently dropped")
+            self.tampered.append(tamper)
+            return tamper, dst, data
+        if misroute is not None:
+            wrong = self.wrong_peer(src, dst, nranks)
+            tamper = Tamper(now, "misrouting-rank", src, dst, tag,
+                            f"send #{k} delivered to {wrong} instead")
+            self.tampered.append(tamper)
+            return tamper, wrong, data
+        if corrupt is not None:
+            bad, desc = corrupt_payload(
+                data, random.Random(f"{self.seed}/adversary/{src}/{k}"))
+            if bad is None:
+                return None  # nothing corruptible in this payload
+            tamper = Tamper(now, "byzantine-rank", src, dst, tag,
+                            f"send #{k} corrupted: {desc}")
+            self.tampered.append(tamper)
+            return tamper, dst, bad
+        return None
+
+    @staticmethod
+    def wrong_peer(src: int, dst: int, nranks: int) -> int:
+        """The deterministic wrong destination for a misrouted send."""
+        if nranks <= 1:
+            return dst
+        wrong = (dst + 1) % nranks
+        if wrong == src and nranks > 2:
+            wrong = (dst + 2) % nranks
+        return wrong
+
+
 class FaultState:
     """Mutable runtime fault state threaded through engine and network.
 
@@ -309,7 +583,8 @@ class FaultState:
     """
 
     __slots__ = ("schedule", "failed", "slow", "dead", "rng", "injected",
-                 "retries", "dead_letters", "jitter", "max_retries")
+                 "retries", "dead_letters", "jitter", "max_retries",
+                 "adversary")
 
     def __init__(self, schedule: FaultSchedule):
         self.schedule = schedule
@@ -326,10 +601,21 @@ class FaultState:
         self.dead_letters: List[DeadLetter] = []
         self.jitter = schedule.jitter
         self.max_retries = schedule.max_retries
+        #: Byzantine-model per-send machinery, None when the schedule
+        #: declares no adversarial ranks (the common case costs one
+        #: attribute check per send)
+        self.adversary: Optional[AdversaryState] = None
+        if schedule.has_adversaries:
+            self.adversary = AdversaryState(schedule)
 
     @property
     def anything_injected(self) -> bool:
         return bool(self.injected)
+
+    @property
+    def tampered(self) -> List[Tamper]:
+        """Every adversarial application so far (empty without adversaries)."""
+        return self.adversary.tampered if self.adversary is not None else []
 
     def log(self, t: float, kind: str, detail: str) -> None:
         self.injected.append((t, kind, detail))
@@ -341,6 +627,7 @@ class FaultState:
             retries=self.retries,
             dead_letters=tuple(self.dead_letters),
             crashed=tuple(sorted(self.dead)),
+            tampered=tuple(self.tampered),
         )
 
 
@@ -353,6 +640,7 @@ class FaultReport:
     retries: int
     dead_letters: Tuple[DeadLetter, ...]
     crashed: Tuple[int, ...]
+    tampered: Tuple[Tamper, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -377,6 +665,9 @@ class FaultDiagnosis(RuntimeError):
         messages the retry layer gave up on;
     ``crashed``
         nodes dead at diagnosis time;
+    ``tampered``
+        :class:`Tamper` records of every adversarial (Byzantine-model)
+        application;
     ``op_spans``
         ``rank -> label`` of the collective op span each blocked rank
         was inside (empty when tracing was off).
@@ -388,7 +679,8 @@ class FaultDiagnosis(RuntimeError):
                  dead_letters: Sequence[DeadLetter] = (),
                  crashed: Sequence[int] = (),
                  op_spans: Optional[Dict[int, str]] = None,
-                 watchdog: bool = False):
+                 watchdog: bool = False,
+                 tampered: Sequence[Tamper] = ()):
         super().__init__(message)
         self.injected = tuple(injected)
         self.blocked = tuple(blocked)
@@ -396,6 +688,7 @@ class FaultDiagnosis(RuntimeError):
         self.crashed = tuple(crashed)
         self.op_spans = dict(op_spans or {})
         self.watchdog = watchdog
+        self.tampered = tuple(tampered)
 
     def to_dict(self) -> Dict:
         return {
@@ -406,4 +699,5 @@ class FaultDiagnosis(RuntimeError):
             "crashed": list(self.crashed),
             "op_spans": {str(k): v for k, v in self.op_spans.items()},
             "watchdog": self.watchdog,
+            "tampered": [t.describe() for t in self.tampered],
         }

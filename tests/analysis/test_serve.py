@@ -36,6 +36,19 @@ def artifact_root(tmp_path):
                      "schedule": "empty", "outcome": "ok", "time": 0.1}],
         "passed": True,
     }))
+    (tmp_path / "CHAOS_autopilot.json").write_text(json.dumps({
+        "kind": "repro-chaos-autopilot", "version": 1, "seed": 42,
+        "cases": 2, "store_records": 2,
+        "verdicts": {"ok": 1, "diagnosed-fault": 1},
+        "cell_matrix": {"ring": {"bcast": 2}},
+        "profile_matrix": {"byzantine": {"diagnosed-fault": 1},
+                           "none": {"ok": 1}},
+        "explored_cells": 2, "possible_cells": 225,
+        "open_findings": [], "golden": [],
+        "gates": {"zero_silent_corruption": True,
+                  "zero_undiagnosed_hang": True},
+        "passed": True,
+    }))
     (tmp_path / "demo.trace.json").write_text(
         json.dumps({"traceEvents": []}))
     # present in the repo but deliberately absent here: the index must
@@ -75,6 +88,7 @@ class TestObservatory:
         assert ctype.startswith("text/html")
         assert b"repro observatory" in body
         assert b"/static/observatory.js" in body
+        assert b"sec-autopilot" in body  # chaos-autopilot panel present
 
     def test_static_assets_served(self, server):
         for name, ctype in [("observatory.css", "text/css"),
@@ -90,12 +104,13 @@ class TestObservatory:
         assert status == 200
         idx = json.loads(body)
         assert [a["name"] for a in idx["artifacts"]] == \
-            ["AUDIT_model.json", "CHAOS_report.json"]
+            ["AUDIT_model.json", "CHAOS_report.json",
+             "CHAOS_autopilot.json"]
         assert [t["name"] for t in idx["traces"]] == ["demo.trace.json"]
 
     def test_each_artifact_endpoint_serves_json(self, server):
         for name in ["AUDIT_model.json", "CHAOS_report.json",
-                     "demo.trace.json"]:
+                     "CHAOS_autopilot.json", "demo.trace.json"]:
             status, ctype, body = _get(server + "/api/artifact/" + name)
             assert status == 200, name
             assert ctype.startswith("application/json")

@@ -1,0 +1,128 @@
+"""Corpus store: canonical bytes, atomic persistence, coverage."""
+
+import json
+import os
+
+from repro.chaos.corpus import (CorpusStore, ENV_STORE, STORE_KIND,
+                                default_store_path)
+
+
+def _record(rid, topo_class="ring", op="bcast", profile="none",
+            verdict="ok", **extra):
+    rec = {"id": rid, "verdict": verdict, "sim_time": 1.0,
+           "case": {"topo": [topo_class, 4], "op": op,
+                    "profile": profile, "params": "unit", "n": 8,
+                    "dtype": "float64", "group": None, "faults": {},
+                    "origin": "t"}}
+    rec.update(extra)
+    return rec
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        store = CorpusStore(path)
+        assert len(store) == 0
+        store.add(_record("aaa"))
+        store.add(_record("bbb", verdict="diagnosed-fault"))
+        store.save()
+        again = CorpusStore(path)
+        assert again.records == store.records
+
+    def test_canonical_bytes(self, tmp_path):
+        p1, p2 = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        for path in (p1, p2):
+            store = CorpusStore(path)
+            # insertion order must not matter: ids serialize sorted
+            order = ["bbb", "aaa"] if path == p1 else ["aaa", "bbb"]
+            for rid in order:
+                store.add(_record(rid))
+            store.save()
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_header_line(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        store = CorpusStore(path)
+        store.add(_record("aaa"))
+        store.save()
+        first = open(path).readline()
+        header = json.loads(first)
+        assert header["kind"] == STORE_KIND
+
+    def test_foreign_file_ignored(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("this is not a corpus\n")
+        store = CorpusStore(str(path))
+        assert len(store) == 0
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        store = CorpusStore(path)
+        store.add(_record("aaa"))
+        store.save()
+        with open(path, "a") as fh:
+            fh.write('{"id": "trunc')  # torn write from a foreign tool
+        again = CorpusStore(path)
+        assert set(again.records) == {"aaa"}
+
+    def test_no_temp_litter_after_save(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        store = CorpusStore(path)
+        store.add(_record("aaa"))
+        store.save()
+        assert os.listdir(tmp_path) == ["corpus.jsonl"]
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_STORE, str(tmp_path / "custom.jsonl"))
+        assert default_store_path() == str(tmp_path / "custom.jsonl")
+        assert CorpusStore().path == str(tmp_path / "custom.jsonl")
+
+
+class TestRecords:
+    def test_add_refuses_duplicates(self, tmp_path):
+        store = CorpusStore(str(tmp_path / "c.jsonl"))
+        assert store.add(_record("aaa")) is True
+        assert store.add(_record("aaa", verdict="silent-corruption")) \
+            is False
+        assert store.get("aaa")["verdict"] == "ok"
+
+    def test_update_overwrites(self, tmp_path):
+        store = CorpusStore(str(tmp_path / "c.jsonl"))
+        store.add(_record("aaa"))
+        store.update(_record("aaa", verdict="regret-outlier"))
+        assert store.get("aaa")["verdict"] == "regret-outlier"
+
+
+class TestCoverage:
+    def _store(self, tmp_path):
+        store = CorpusStore(str(tmp_path / "c.jsonl"))
+        store.add(_record("a", "ring", "bcast", "none", "ok"))
+        store.add(_record("b", "ring", "bcast", "byzantine",
+                          "diagnosed-fault"))
+        store.add(_record("c", "mesh", "reduce", "crash",
+                          "silent-corruption"))
+        store.add(_record("d", "mesh", "reduce", "crash",
+                          "diagnosed-fault", golden=True))
+        return store
+
+    def test_explored_cells(self, tmp_path):
+        assert self._store(tmp_path).explored_cells() == {
+            ("ring", "bcast", "none"),
+            ("ring", "bcast", "byzantine"),
+            ("mesh", "reduce", "crash"),
+        }
+
+    def test_coverage_axes(self, tmp_path):
+        cov = self._store(tmp_path).coverage()
+        assert cov["topo_class"] == {"ring": 2, "mesh": 2}
+        assert cov["verdict"]["diagnosed-fault"] == 2
+        assert cov["profile"]["crash"] == 2
+
+    def test_cell_matrix(self, tmp_path):
+        assert self._store(tmp_path).cell_matrix() == {
+            "ring": {"bcast": 2}, "mesh": {"reduce": 2}}
+
+    def test_findings_and_golden(self, tmp_path):
+        store = self._store(tmp_path)
+        assert [r["id"] for r in store.findings()] == ["c"]
+        assert [r["id"] for r in store.golden()] == ["d"]

@@ -381,6 +381,62 @@ class TestShrink:
             else:
                 assert run.results[r] == want
 
+    def test_sequential_crashes_shrink_twice(self):
+        """shrink, crash again, shrink again: the perfect failure
+        detector is time-independent, so both shrinks agree on the full
+        crash set and the second is a no-op on the first's survivors."""
+        m = Machine(LinearArray(8), UNIT)
+        fs = FaultSchedule(events=(NodeCrash(t=10.0, node=2),
+                                   NodeCrash(t=30.0, node=5)),
+                           deadline=1e9)
+
+        def prog(env):
+            comm = Communicator.world(env)
+            yield env.delay(20.0)          # after crash 1, before crash 2
+            first = comm.shrink()
+            yield env.delay(20.0)          # after crash 2
+            second = first.shrink()
+            vec = np.full(6, float(env.rank))
+            out = yield from second.allreduce(vec)
+            return (first.group, second.group, float(out[0]))
+
+        run = m.run(prog, faults=fs)
+        survivors = tuple(r for r in range(8) if r not in (2, 5))
+        want = float(sum(survivors))
+        for r in range(8):
+            if r in (2, 5):
+                assert run.results[r] is None
+            else:
+                g1, g2, total = run.results[r]
+                # crashed_nodes() is schedule-wide: the first shrink
+                # already excludes the *future* crash of node 5
+                assert g1 == survivors
+                assert g2 == survivors
+                assert total == want
+
+    def test_shrink_inside_degraded_route(self):
+        """A crash plus a live link slowdown: survivors shrink and the
+        collective completes correctly over the degraded route."""
+        m = Machine(LinearArray(6), UNIT)
+        fs = FaultSchedule(
+            events=(NodeCrash(t=1.0, node=5),
+                    LinkSlowdown(t=0.0, u=1, v=2, factor=8.0)),
+            deadline=1e9)
+
+        def prog(env):
+            comm = Communicator.world(env)
+            yield env.delay(5.0)
+            sub = comm.shrink()
+            vec = np.full(4, float(env.rank))
+            out = yield from sub.allreduce(vec)
+            return float(out[0])
+
+        run = m.run(prog, faults=fs)
+        want = float(sum(range(5)))
+        for r in range(5):
+            assert run.results[r] == want
+        assert run.results[5] is None
+
     def test_shrink_without_faults_is_identity(self):
         m = Machine(LinearArray(4), UNIT)
 
