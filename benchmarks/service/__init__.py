@@ -1,0 +1,1 @@
+"""Multi-tenant service benchmark: ``BENCH_service.json``."""

@@ -1,0 +1,245 @@
+"""Service benchmark: closed-loop tenants over one shared fabric.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.service.run               # full
+    PYTHONPATH=src python -m benchmarks.service.run --grid smoke  # CI
+    PYTHONPATH=src python -m benchmarks.service.run --check       # gate
+
+Each grid cell runs one seeded workload (:mod:`repro.service.traffic`)
+twice — fusion **on** and fusion **off**, same traffic, same
+scheduling — on one backend (simulated Paragon mesh, process runtime
+over pipes, or process runtime over TCP sockets), and records
+throughput, virtual-latency percentiles, fusion ratio, and per-tenant
+fairness for both runs side by side.
+
+The gates (``--check``; enforced by the ``service-smoke`` CI job and
+documented in docs/service.md):
+
+* **bit-exact fusion** — every request delivered by both the fused and
+  the unfused run must return byte-identical payloads on every member
+  rank (the fusion planner may change the combine tree, never the
+  answer);
+* **fused speedup** — the small-message storm must complete >= 2x more
+  requests per second with fusion on than off, on every backend in the
+  grid (the headline message-combining win);
+* **fairness floor** — under the symmetric storm, no tenant's
+  service-time share may fall below half its fair share
+  (``0.5 / ntenants``);
+* **zero silent drops** — every submitted request ends in exactly one
+  typed outcome (ok / rejected / dead-letter) on every run.
+
+The committed ``BENCH_service.json`` is a full-grid run.  Workloads
+are seeded and the service plans on a virtual clock, so the plans —
+and therefore every gate except wall-clock throughput — reproduce
+bit-identically on any host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import socket
+import sys
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(os.path.dirname(_HERE))
+sys.path.insert(0, os.path.join(_REPO, "src"))
+
+from repro.service import (ServiceConfig, bursty_spec, mixed_spec,  # noqa: E402
+                           serve_workload, storm_spec)
+
+DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_service.json")
+
+SPEEDUP_FLOOR = 2.0          #: fused vs unfused storm throughput gate
+FAIRNESS_SHARE_FLOOR = 0.5   #: min tenant share >= this / ntenants
+
+#: per-workload service policy; bursty runs against a rate limiter so
+#: typed rejections are actually exercised end to end
+_CONFIGS = {
+    "storm": dict(),
+    "mixed": dict(),
+    "bursty": dict(admission_rate=120.0, admission_burst=4.0,
+                   queue_cap=32),
+}
+
+_SPECS = {
+    "storm": lambda: storm_spec(tenants=4, requests=30, window=8),
+    "mixed": lambda: mixed_spec(tenants=4, requests=20, window=6),
+    "bursty": lambda: bursty_spec(tenants=3, requests=30, window=16),
+}
+
+_SEEDS = {"storm": 11, "mixed": 23, "bursty": 37}
+
+GRIDS = {
+    "smoke": (("storm", "sim"), ("mixed", "sim"), ("bursty", "sim"),
+              ("storm", "runtime")),
+    "full": (("storm", "sim"), ("mixed", "sim"), ("bursty", "sim"),
+             ("storm", "runtime"), ("mixed", "runtime"),
+             ("storm", "runtime-tcp")),
+}
+
+
+def _machine(backend: str):
+    if backend == "sim":
+        from repro.sim import Machine, Mesh2D, PARAGON
+        return Machine(Mesh2D(2, 4), PARAGON)
+    from repro.runtime import ProcessMachine
+    transport = "tcp" if backend == "runtime-tcp" else "local"
+    return ProcessMachine(nprocs=4, transport=transport)
+
+
+def _compare_results(fused, unfused) -> dict:
+    """Bit-exactness of per-request results across the two runs.
+
+    Admission is clocked on the virtual timeline, which fusion shifts,
+    so a rate-limited workload may admit slightly different request
+    sets; the gate compares the intersection (and reports both sides'
+    totals so a collapse would be visible).
+    """
+    common = sorted(set(fused.results) & set(unfused.results))
+    mismatches = []
+    compared = 0
+    for rid in common:
+        ranks = set(fused.results[rid]) & set(unfused.results[rid])
+        for rank in sorted(ranks):
+            va = fused.results[rid][rank]
+            vb = unfused.results[rid][rank]
+            compared += 1
+            if va is None and vb is None:
+                continue
+            if va is None or vb is None or \
+                    np.asarray(va).shape != np.asarray(vb).shape or \
+                    not (np.asarray(va) == np.asarray(vb)).all():
+                mismatches.append({"rid": rid, "rank": rank})
+    return {
+        "requests_compared": len(common),
+        "values_compared": compared,
+        "only_fused": len(set(fused.results) - set(unfused.results)),
+        "only_unfused": len(set(unfused.results) - set(fused.results)),
+        "mismatches": mismatches,
+        "bit_exact": not mismatches,
+    }
+
+
+def _run_side(backend: str, workload: str, fusion: bool) -> "object":
+    spec = _SPECS[workload]()
+    config = ServiceConfig(fusion=fusion, **_CONFIGS[workload])
+    machine = _machine(backend)
+    trace = backend == "sim"   # measured shares need spans; cheap on sim
+    return serve_workload(machine, spec, seed=_SEEDS[workload],
+                          config=config, trace=trace)
+
+
+def run_cell(workload: str, backend: str) -> dict:
+    spec = _SPECS[workload]()
+    fused = _run_side(backend, workload, fusion=True)
+    unfused = _run_side(backend, workload, fusion=False)
+    cmp = _compare_results(fused, unfused)
+    speedup = (fused.requests_per_s / unfused.requests_per_s
+               if unfused.requests_per_s > 0 else float("nan"))
+    return {
+        "id": f"{workload}/{backend}",
+        "workload": workload,
+        "backend": backend,
+        "world_size": fused.plan.world_size,
+        "tenants": len(spec.tenants),
+        "spec": spec.to_dict(),
+        "config": {"fused": ServiceConfig(
+            fusion=True, **_CONFIGS[workload]).to_dict()},
+        "fused": fused.to_dict(),
+        "unfused": unfused.to_dict(),
+        "speedup": speedup,
+        "comparison": cmp,
+    }
+
+
+def evaluate(records) -> dict:
+    """Aggregate gate verdicts over cell records."""
+    violations = {"bit_exact": [], "speedup": [], "fairness": [],
+                  "silent_drop": []}
+    for rec in records:
+        if not rec["comparison"]["bit_exact"]:
+            violations["bit_exact"].append(rec["id"])
+        for side in ("fused", "unfused"):
+            if not rec[side]["accounted"]:
+                violations["silent_drop"].append(f"{rec['id']}:{side}")
+        if rec["workload"] == "storm":
+            if not rec["speedup"] >= SPEEDUP_FLOOR:
+                violations["speedup"].append(rec["id"])
+            floor = FAIRNESS_SHARE_FLOOR / rec["tenants"]
+            shares = rec["fused"]["tenant_shares"]
+            if not shares or min(shares.values()) < floor:
+                violations["fairness"].append(rec["id"])
+    gates = {
+        "bit_exact_fused_vs_unfused": not violations["bit_exact"],
+        "storm_fused_speedup_2x": not violations["speedup"],
+        "storm_fairness_floor": not violations["fairness"],
+        "zero_silent_drops": not violations["silent_drop"],
+    }
+    return {
+        "violations": {k: v for k, v in violations.items() if v},
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--grid", choices=sorted(GRIDS), default="full")
+    ap.add_argument("--output", default=DEFAULT_OUTPUT,
+                    help="where to write the JSON report")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero if any gate fails")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print one line per cell as it runs")
+    args = ap.parse_args(argv)
+
+    t0 = time.time()
+    records = []
+    for workload, backend in GRIDS[args.grid]:
+        rec = run_cell(workload, backend)
+        records.append(rec)
+        if args.verbose:
+            print(f"{rec['id']:24s} speedup={rec['speedup']:.2f}x "
+                  f"fusion={rec['fused']['fusion_ratio']:.2f} "
+                  f"fair={rec['fused']['fairness_index']:.3f} "
+                  f"bit_exact={rec['comparison']['bit_exact']}",
+                  flush=True)
+    verdict = evaluate(records)
+
+    report = {
+        "grid": args.grid,
+        "generated_by": "benchmarks/service/run.py",
+        "elapsed_s": time.time() - t0,
+        "host": {"hostname": socket.gethostname(),
+                 "machine": platform.machine(),
+                 "python": platform.python_version()},
+        "gates": {
+            "speedup_floor": SPEEDUP_FLOOR,
+            "fairness_share_floor": FAIRNESS_SHARE_FLOOR,
+            **verdict["gates"],
+        },
+        "passed": verdict["passed"],
+        "violations": verdict["violations"],
+        "cells": records,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True, default=float)
+        fh.write("\n")
+    print(f"wrote {args.output}: {len(records)} cells, "
+          f"passed={verdict['passed']}")
+    if verdict["violations"]:
+        print(json.dumps(verdict["violations"], indent=1))
+    if args.check and not verdict["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ ARTIFACTS = (
     "AUDIT_model.json",
     "AUDIT_runtime.json",
     "BENCH_runtime.json",
+    "BENCH_service.json",
     "BENCH_sim.json",
     "CHAOS_report.json",
     "CHAOS_autopilot.json",

@@ -240,6 +240,69 @@ function renderBenchSim(container, bench) {
     `sweep ${fmt(bench.total_wall_s, 1)}s wall`));
 }
 
+/* ---------- multi-tenant service ---------- */
+
+function renderService(container, bench) {
+  const cells = bench.cells || [];
+  const gates = bench.gates || {};
+  const gateHtml = Object.entries(gates)
+    .filter(([, v]) => typeof v === "boolean")
+    .map(([k, v]) =>
+      `${k} <span class="${v ? "gate-pass" : "gate-fail"}">` +
+      `${v ? "PASS" : "FAIL"}</span>`).join(" &middot; ");
+  const stat = el("p", "statline");
+  stat.innerHTML = `${cells.length} grid cells (${bench.grid} grid)` +
+    ` &middot; ${gateHtml}`;
+  container.appendChild(stat);
+  if (!cells.length) return;
+
+  container.appendChild(el("h3", "",
+    "fused vs unfused throughput (requests/s)"));
+  const rows = [];
+  for (const cell of cells) {
+    const title = `fusion ratio ${fmt(cell.fused.fusion_ratio, 2)}, ` +
+      `fairness ${fmt(cell.fused.fairness_index, 3)}, ` +
+      `p99 latency ${fmt((cell.fused.latency_v || {}).p99)}s (virtual)`;
+    rows.push({
+      name: `${cell.id} fused`,
+      value: cell.fused.requests_per_s,
+      label: `${fmt(cell.fused.requests_per_s, 0)}/s ` +
+        `(x${fmt(cell.speedup, 2)})`,
+      title,
+    });
+    rows.push({
+      name: `${cell.id} unfused`,
+      value: cell.unfused.requests_per_s,
+      label: `${fmt(cell.unfused.requests_per_s, 0)}/s`,
+      title,
+    });
+  }
+  container.appendChild(barChart(rows, (r) =>
+    r.name.endsWith(" fused") ? "#34a35f" : "#5b9dd9"));
+
+  container.appendChild(el("h3", "",
+    "per-tenant service-time shares (fused run)"));
+  for (const cell of cells) {
+    const shares = cell.fused.tenant_shares || {};
+    const tenants = Object.keys(shares).sort();
+    if (!tenants.length) continue;
+    const floor = 0.5 / Math.max(cell.tenants, 1);
+    const isStorm = cell.workload === "storm";
+    container.appendChild(el("h4", "", `${cell.id} — fairness ` +
+      `${fmt(cell.fused.fairness_index, 3)}` +
+      (isStorm ? ` (floor ${fmt(floor, 3)}/tenant)` : "")));
+    container.appendChild(barChart(
+      tenants.map((t) => ({
+        name: t,
+        value: shares[t],
+        label: fmt(shares[t], 3),
+        title: `${t}: ${fmt(100 * shares[t], 1)}% of priced ` +
+          `service time`,
+      })),
+      (r) => (isStorm && r.value < floor) ? "#c54545" : "#34a35f"));
+  }
+}
+
 /* ---------- chaos verdicts ---------- */
 
 function renderChaos(container, report) {
@@ -453,11 +516,12 @@ async function main() {
   const get = (name) => present.has(name)
     ? fetchJson(`/api/artifact/${name}`) : Promise.resolve(null);
   const [auditModel, auditRuntime, benchRuntime, benchSim, chaos,
-         autopilot] =
+         autopilot, service] =
     await Promise.all([
       get("AUDIT_model.json"), get("AUDIT_runtime.json"),
       get("BENCH_runtime.json"), get("BENCH_sim.json"),
       get("CHAOS_report.json"), get("CHAOS_autopilot.json"),
+      get("BENCH_service.json"),
     ]);
 
   if (auditModel || auditRuntime) {
@@ -476,6 +540,10 @@ async function main() {
   if (benchSim) {
     $("sec-bench-sim").hidden = false;
     renderBenchSim($("bench-sim"), benchSim);
+  }
+  if (service) {
+    $("sec-service").hidden = false;
+    renderService($("service"), service);
   }
   if (chaos) {
     $("sec-chaos").hidden = false;

@@ -1,0 +1,60 @@
+"""Multi-tenant collective service (docs/service.md).
+
+The long-lived layer the ROADMAP's north star asks for: many tenants
+share one fabric (simulated :class:`~repro.sim.Machine` or the process
+backend's :class:`~repro.runtime.ProcessMachine`), submitting
+collective requests into per-tenant queues.  The service applies
+token-bucket **admission control** with typed rejection, schedules
+tenants with a **deficit-round-robin** fair scheduler, **fuses**
+compatible small collectives into one segmented collective (the
+alpha-amortizing message-combining idea of Träff et al., PAPERS.md) —
+a *costed* decision priced through the existing Selector — and
+executes the resulting plan as one SPMD program over either backend.
+
+Entry points:
+
+* :class:`ServiceCore` — the deterministic front-end state machine
+  (sessions, admission, scheduling, fusion, virtual clock);
+* :func:`~repro.service.traffic.run_workload` — the seeded closed-loop
+  traffic generator driving a core;
+* :func:`~repro.service.execute.execute_plan` /
+  :func:`~repro.service.execute.serve_workload` — run a planned
+  schedule over a machine and assemble a :class:`ServiceReport`.
+"""
+
+from .request import (CollectiveRequest, PayloadSpec, Rejection,
+                      RequestOutcome, Session, DEADLINE_CLASSES,
+                      SERVICE_OPS)
+from .admission import AdmissionController, TokenBucket
+from .scheduler import DeficitRoundRobin
+from .fusion import FusionPlanner, PlannedBatch
+from .core import ServiceConfig, ServiceCore, ServicePlan
+from .traffic import (WorkloadSpec, bursty_spec, mixed_spec, run_workload,
+                      storm_spec)
+from .execute import ServiceReport, execute_plan, serve_workload
+
+__all__ = [
+    "AdmissionController",
+    "CollectiveRequest",
+    "DEADLINE_CLASSES",
+    "DeficitRoundRobin",
+    "FusionPlanner",
+    "PayloadSpec",
+    "PlannedBatch",
+    "Rejection",
+    "RequestOutcome",
+    "SERVICE_OPS",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServicePlan",
+    "ServiceReport",
+    "Session",
+    "TokenBucket",
+    "WorkloadSpec",
+    "bursty_spec",
+    "execute_plan",
+    "mixed_spec",
+    "run_workload",
+    "serve_workload",
+    "storm_spec",
+]

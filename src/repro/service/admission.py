@@ -1,0 +1,118 @@
+"""Admission control: per-tenant token buckets + backlog caps.
+
+Everything runs on the service's deterministic *virtual* clock
+(docs/service.md): refill arithmetic is a pure function of elapsed
+virtual time, so the same workload always admits and rejects exactly
+the same requests on every backend and every rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .request import Rejection
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket on a caller-supplied clock.
+
+    ``rate`` tokens/second accrue up to ``burst``; each admission
+    consumes one token.  ``rate=None`` disables rate limiting (the
+    bucket always admits).
+    """
+
+    rate: Optional[float] = None
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1 token")
+        self._tokens = float(self.burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            if self.rate is not None:
+                self._tokens = min(self.burst,
+                                   self._tokens + (now - self._last)
+                                   * self.rate)
+            self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token at virtual time ``now`` if available."""
+        if self.rate is None:
+            return True
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Virtual seconds until the bucket next holds a whole token."""
+        if self.rate is None:
+            return 0.0
+        self._refill(now)
+        missing = max(0.0, 1.0 - self._tokens)
+        return missing / self.rate
+
+
+class AdmissionController:
+    """Gate requests before they reach a tenant queue.
+
+    Parameters
+    ----------
+    rate, burst:
+        Default token-bucket parameters applied to every tenant
+        (``rate=None`` admits unconditionally).  Per-tenant overrides
+        via :meth:`set_policy`.
+    queue_cap:
+        Maximum backlogged (admitted, not yet dispatched) requests per
+        tenant; ``None`` is unbounded.
+    """
+
+    def __init__(self, rate: Optional[float] = None, burst: float = 16.0,
+                 queue_cap: Optional[int] = None):
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError("queue_cap must be positive (or None)")
+        self._default = (rate, burst)
+        self.queue_cap = queue_cap
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._overrides: Dict[str, tuple] = {}
+
+    def set_policy(self, tenant: str, rate: Optional[float],
+                   burst: float = 16.0) -> None:
+        """Tenant-specific bucket parameters (call before first use)."""
+        if tenant in self._buckets:
+            raise RuntimeError(
+                f"tenant {tenant!r} already admitted requests; admission "
+                "policies must be set before traffic starts")
+        self._overrides[tenant] = (rate, burst)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        b = self._buckets.get(tenant)
+        if b is None:
+            rate, burst = self._overrides.get(tenant, self._default)
+            b = self._buckets[tenant] = TokenBucket(rate=rate, burst=burst)
+        return b
+
+    def admit(self, tenant: str, now: float,
+              backlog: int) -> Optional[Rejection]:
+        """None when admitted; a typed :class:`Rejection` otherwise."""
+        if self.queue_cap is not None and backlog >= self.queue_cap:
+            return Rejection(
+                kind="queue-full", tenant=tenant,
+                detail=f"tenant backlog {backlog} at cap "
+                       f"{self.queue_cap}")
+        bucket = self._bucket(tenant)
+        if not bucket.try_take(now):
+            return Rejection(
+                kind="rate-limit", tenant=tenant,
+                detail=f"token bucket empty (rate={bucket.rate:g}/s, "
+                       f"burst={bucket.burst:g})",
+                retry_after_v=bucket.retry_after(now))
+        return None

@@ -1,0 +1,112 @@
+"""Chaos coverage for the service: faults injected mid-storm.
+
+The service's containment contract (docs/service.md) under injected
+faults is the library-wide zero-silent-anything policy, lifted to the
+request level:
+
+* **delay-only** profiles (``jitter``, ``slowdown``) change timing,
+  never delivery: every request must still complete ``ok`` with
+  payloads bit-identical to the fault-free oracle;
+* **lossy** profiles (``link-permanent``, ``crash``) may prevent
+  batches from completing: every affected request must end as a
+  ``dead-letter`` carrying the run's typed
+  :class:`~repro.sim.faults.FaultDiagnosis`, every batch that fully
+  completed before the fault keeps its ``ok`` outcome and its
+  oracle-identical results, and **no request may ever disappear** —
+  ``submitted == ok + rejected + dead-letter`` always.
+
+Profiles are seeded and sized against the machine's own alpha, so one
+``(profile, seed)`` pair reproduces the same mid-storm fault
+everywhere — the same convention as :mod:`repro.chaos.generator`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..sim.faults import FaultSchedule, LinkFault, LinkSlowdown, NodeCrash
+
+#: profile name -> whether the profile may legally dead-letter requests
+SERVICE_CHAOS_PROFILES: Dict[str, bool] = {
+    "jitter": False,
+    "slowdown": False,
+    "link-transient": False,
+    "link-permanent": True,
+    "crash": True,
+}
+
+
+def service_fault_schedule(profile: str, machine, *, seed: int = 0,
+                           t_mid: Optional[float] = None) -> FaultSchedule:
+    """A seeded mid-storm fault schedule for ``machine``.
+
+    ``t_mid`` anchors injection (simulated seconds): events land in
+    ``[0.2, 1.0] * t_mid``.  Default is a few hundred alphas; callers
+    who know the storm's fault-free span should pass a fraction of it
+    so the fault really lands mid-flight.
+    """
+    if profile not in SERVICE_CHAOS_PROFILES:
+        raise ValueError(
+            f"unknown service chaos profile {profile!r}; expected one "
+            f"of {sorted(SERVICE_CHAOS_PROFILES)}")
+    rng = random.Random(f"service-chaos/{profile}/{seed}")
+    alpha = machine.params.alpha
+    if t_mid is None:
+        t_mid = 200.0 * alpha
+    deadline = max(500_000.0 * alpha, 5000.0 * t_mid)
+    channels = sorted(set(machine.topology.channels()))
+    u, v = rng.choice(channels)
+    if profile == "jitter":
+        return FaultSchedule(jitter=alpha * rng.uniform(0.5, 2.0),
+                             seed=rng.randrange(2 ** 31),
+                             deadline=deadline)
+    if profile == "slowdown":
+        return FaultSchedule(
+            events=(LinkSlowdown(t=t_mid * rng.uniform(0.2, 1.0),
+                                 u=u, v=v,
+                                 factor=rng.uniform(2.0, 6.0)),),
+            deadline=deadline)
+    if profile == "link-transient":
+        return FaultSchedule(
+            events=(LinkFault(t=t_mid * rng.uniform(0.2, 1.0), u=u, v=v,
+                              duration=50.0 * alpha),),
+            max_retries=14, deadline=deadline)
+    if profile == "link-permanent":
+        return FaultSchedule(
+            events=(LinkFault(t=t_mid * rng.uniform(0.2, 1.0), u=u, v=v),),
+            deadline=deadline)
+    # crash
+    node = rng.randrange(machine.nnodes)
+    return FaultSchedule(
+        events=(NodeCrash(t=t_mid * rng.uniform(0.2, 1.0), node=node),),
+        deadline=deadline)
+
+
+def run_chaos_storm(profile: str, *, seed: int = 0, machine=None,
+                    spec=None, config=None, workload_seed: int = 5):
+    """One storm under one fault profile; returns ``(report, oracle)``.
+
+    ``oracle`` is the same plan executed fault-free on a pristine
+    machine — delay-only profiles must match it bit-exactly, lossy
+    profiles must match on every request that stayed ``ok``.
+    """
+    from ..sim import Machine, Mesh2D, PARAGON
+    from .core import ServiceCore
+    from .execute import execute_plan
+    from .traffic import run_workload, storm_spec
+
+    if machine is None:
+        machine = Machine(Mesh2D(2, 3), PARAGON)
+    if spec is None:
+        spec = storm_spec(tenants=3, requests=12, window=6)
+    core = ServiceCore(machine.nnodes, params=machine.params,
+                       topology=machine.topology, config=config)
+    plan = run_workload(core, spec, seed=workload_seed)
+
+    oracle = execute_plan(machine, plan)
+    faults = service_fault_schedule(profile, machine, seed=seed,
+                                    t_mid=0.6 * oracle.elapsed_s)
+    faulty = Machine(machine.topology, machine.params, faults=faults)
+    report = execute_plan(faulty, plan)
+    return report, oracle

@@ -49,6 +49,27 @@ def artifact_root(tmp_path):
                   "zero_undiagnosed_hang": True},
         "passed": True,
     }))
+    (tmp_path / "BENCH_service.json").write_text(json.dumps({
+        "grid": "smoke", "passed": True, "violations": {},
+        "gates": {"speedup_floor": 2.0, "fairness_share_floor": 0.5,
+                  "bit_exact_fused_vs_unfused": True,
+                  "storm_fused_speedup_2x": True,
+                  "storm_fairness_floor": True,
+                  "zero_silent_drops": True},
+        "cells": [{
+            "id": "storm/sim", "workload": "storm", "backend": "sim",
+            "world_size": 8, "tenants": 2, "speedup": 3.5,
+            "comparison": {"bit_exact": True, "mismatches": []},
+            "fused": {"requests_per_s": 4000.0, "fusion_ratio": 1.0,
+                      "fairness_index": 1.0, "accounted": True,
+                      "latency_v": {"p50": 1e-3, "p99": 2e-3},
+                      "tenant_shares": {"t0": 0.5, "t1": 0.5}},
+            "unfused": {"requests_per_s": 1100.0, "fusion_ratio": 0.0,
+                        "fairness_index": 1.0, "accounted": True,
+                        "latency_v": {"p50": 2e-3, "p99": 4e-3},
+                        "tenant_shares": {"t0": 0.5, "t1": 0.5}},
+        }],
+    }))
     (tmp_path / "demo.trace.json").write_text(
         json.dumps({"traceEvents": []}))
     # present in the repo but deliberately absent here: the index must
@@ -89,6 +110,7 @@ class TestObservatory:
         assert b"repro observatory" in body
         assert b"/static/observatory.js" in body
         assert b"sec-autopilot" in body  # chaos-autopilot panel present
+        assert b"sec-service" in body    # multi-tenant service panel
 
     def test_static_assets_served(self, server):
         for name, ctype in [("observatory.css", "text/css"),
@@ -104,13 +126,14 @@ class TestObservatory:
         assert status == 200
         idx = json.loads(body)
         assert [a["name"] for a in idx["artifacts"]] == \
-            ["AUDIT_model.json", "CHAOS_report.json",
-             "CHAOS_autopilot.json"]
+            ["AUDIT_model.json", "BENCH_service.json",
+             "CHAOS_report.json", "CHAOS_autopilot.json"]
         assert [t["name"] for t in idx["traces"]] == ["demo.trace.json"]
 
     def test_each_artifact_endpoint_serves_json(self, server):
-        for name in ["AUDIT_model.json", "CHAOS_report.json",
-                     "CHAOS_autopilot.json", "demo.trace.json"]:
+        for name in ["AUDIT_model.json", "BENCH_service.json",
+                     "CHAOS_report.json", "CHAOS_autopilot.json",
+                     "demo.trace.json"]:
             status, ctype, body = _get(server + "/api/artifact/" + name)
             assert status == 200, name
             assert ctype.startswith("application/json")
@@ -131,3 +154,4 @@ class TestObservatory:
         names = [a["name"] for a in idx["artifacts"]]
         assert "AUDIT_model.json" in names
         assert "CHAOS_report.json" in names
+        assert "BENCH_service.json" in names

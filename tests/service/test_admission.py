@@ -1,0 +1,83 @@
+"""Token-bucket admission: typed rejections, never silent."""
+
+import pytest
+
+from repro.service import AdmissionController, TokenBucket
+from repro.service.request import Rejection
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        tb = TokenBucket(rate=10.0, burst=3.0)
+        assert tb.try_take(0.0)
+        assert tb.try_take(0.0)
+        assert tb.try_take(0.0)
+        assert not tb.try_take(0.0)          # burst spent
+        assert not tb.try_take(0.05)         # half a token back
+        assert tb.try_take(0.1)              # one token back
+
+    def test_retry_after_names_the_next_token(self):
+        tb = TokenBucket(rate=2.0, burst=1.0)
+        assert tb.try_take(0.0)
+        wait = tb.retry_after(0.0)
+        assert wait == pytest.approx(0.5)
+        assert tb.try_take(0.0 + wait)
+
+    def test_unlimited_bucket_always_admits(self):
+        tb = TokenBucket(rate=None, burst=1.0)
+        assert all(tb.try_take(0.0) for _ in range(1000))
+
+    def test_burst_caps_accumulation(self):
+        tb = TokenBucket(rate=100.0, burst=2.0)
+        # a long idle period must not bank more than `burst` tokens
+        assert tb.try_take(10.0)
+        assert tb.try_take(10.0)
+        assert not tb.try_take(10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_open_admission_never_rejects(self):
+        ac = AdmissionController(rate=None, burst=1.0, queue_cap=None)
+        assert all(ac.admit("t0", 0.0, backlog=i) is None
+                   for i in range(100))
+
+    def test_rate_limit_rejection_is_typed(self):
+        ac = AdmissionController(rate=1.0, burst=1.0, queue_cap=None)
+        assert ac.admit("t0", 0.0, backlog=0) is None
+        rej = ac.admit("t0", 0.0, backlog=0)
+        assert isinstance(rej, Rejection)
+        assert rej.kind == "rate-limit"
+        assert rej.tenant == "t0"
+        assert rej.retry_after_v == pytest.approx(1.0)
+
+    def test_queue_full_wins_over_rate_limit(self):
+        ac = AdmissionController(rate=1.0, burst=1.0, queue_cap=2)
+        ac.admit("t0", 0.0, backlog=0)       # drains the bucket too
+        rej = ac.admit("t0", 0.0, backlog=2)
+        assert rej.kind == "queue-full"
+
+    def test_buckets_are_per_tenant(self):
+        ac = AdmissionController(rate=1.0, burst=1.0, queue_cap=None)
+        assert ac.admit("t0", 0.0, backlog=0) is None
+        assert ac.admit("t0", 0.0, backlog=0) is not None
+        assert ac.admit("t1", 0.0, backlog=0) is None  # fresh bucket
+
+    def test_per_tenant_policy_override(self):
+        ac = AdmissionController(rate=1.0, burst=1.0, queue_cap=None)
+        ac.set_policy("vip", rate=None, burst=1.0)
+        assert all(ac.admit("vip", 0.0, backlog=0) is None
+                   for _ in range(50))
+        assert ac.admit("std", 0.0, backlog=0) is None
+        assert ac.admit("std", 0.0, backlog=0) is not None
+
+    def test_policy_change_after_first_admit_refused(self):
+        ac = AdmissionController(rate=None, burst=1.0, queue_cap=None)
+        ac.admit("t0", 0.0, backlog=0)
+        with pytest.raises(RuntimeError):
+            ac.set_policy("t0", rate=5.0, burst=1.0)

@@ -1,0 +1,115 @@
+"""Fusion planning: costed combining decisions, audited per batch."""
+
+import pytest
+
+from repro.service import FusionPlanner
+from repro.service.request import CollectiveRequest, PayloadSpec
+
+GROUP = (0, 1, 2, 3)
+
+
+def _req(seq, op="allreduce", length=1, dtype="float64", tenant="t0",
+         redop="sum", root=0, group=GROUP):
+    return CollectiveRequest(
+        rid=f"{tenant}/{seq}", tenant=tenant, sid=0, op=op, group=group,
+        payload=PayloadSpec(length=length, dtype=dtype, seed=seq),
+        redop=redop, root=root, seq=seq)
+
+
+def _alpha_beta_price(op, group, nelems, itemsize, alpha=1.0, beta=1e-6):
+    # strongly alpha-dominated: fusing small requests always wins
+    return alpha + beta * nelems * itemsize
+
+
+class TestFusionDecision:
+    def test_compatible_small_requests_fuse(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [_req(i, tenant=f"t{i % 3}") for i in range(6)]
+        batches = planner.plan(reqs)
+        assert len(batches) == 1
+        (batch,) = batches
+        assert batch.fused
+        assert batch.requests == tuple(reqs)
+        assert batch.cost_v < batch.unfused_cost_v
+
+    def test_slices_tile_the_concatenation(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [_req(i, length=ln) for i, ln in enumerate((3, 1, 5))]
+        (batch,) = planner.plan(reqs)
+        assert batch.slices == ((0, 3), (3, 1), (4, 5))
+        assert batch.total_elems == 9
+
+    def test_incompatible_keys_never_fuse(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [
+            _req(0),
+            _req(1, dtype="float32"),            # dtype differs
+            _req(2, redop="max"),                # combine op differs
+            _req(3, group=(0, 1, 2)),            # group differs
+            _req(4, op="reduce", root=1),        # op differs
+        ]
+        batches = planner.plan(reqs)
+        assert all(not b.fused for b in batches)
+        assert len(batches) == len(reqs)
+
+    def test_size_threshold_excludes_large_requests(self):
+        planner = FusionPlanner(price=_alpha_beta_price,
+                                threshold_bytes=64)
+        small = [_req(i, length=2) for i in range(2)]      # 16 bytes
+        large = _req(9, length=100)                        # 800 bytes
+        batches = planner.plan(small + [large])
+        fused = [b for b in batches if b.fused]
+        assert len(fused) == 1
+        assert fused[0].requests == tuple(small)
+        singles = [b for b in batches if not b.fused]
+        assert singles[0].requests == (large,)
+
+    def test_max_fused_chunks_the_bucket(self):
+        planner = FusionPlanner(price=_alpha_beta_price, max_fused=4)
+        reqs = [_req(i) for i in range(10)]
+        batches = planner.plan(reqs)
+        assert [len(b.requests) for b in batches] == [4, 4, 2]
+        assert all(b.fused for b in batches)
+
+    def test_fusion_only_when_model_says_cheaper(self):
+        # a price with NO startup term: fusing can never win
+        planner = FusionPlanner(
+            price=lambda op, g, n, isz: float(n * isz))
+        batches = planner.plan([_req(i) for i in range(4)])
+        assert all(not b.fused for b in batches)
+
+    def test_disabled_planner_emits_singletons(self):
+        planner = FusionPlanner(price=_alpha_beta_price, enabled=False)
+        batches = planner.plan([_req(i) for i in range(5)])
+        assert all(not b.fused for b in batches)
+        assert len(batches) == 5
+
+    def test_nonfusible_ops_stay_single(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [_req(0, op="collect"), _req(1, op="collect"),
+                _req(2, op="reduce_scatter"), _req(3, op="reduce_scatter")]
+        batches = planner.plan(reqs)
+        assert all(not b.fused for b in batches)
+
+    def test_batch_ids_follow_emission_order(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [_req(0), _req(1, op="collect"), _req(2)]
+        batches = planner.plan(reqs)
+        assert [b.bid for b in batches] == [0, 1]
+        # the fused (0, 2) pair appears at its first member's position
+        assert batches[0].fused and len(batches[0].requests) == 2
+        assert batches[1].requests[0].op == "collect"
+
+    def test_tenant_cost_shares_sum_to_batch_cost(self):
+        planner = FusionPlanner(price=_alpha_beta_price)
+        reqs = [_req(i, tenant=f"t{i % 2}", length=1 + i) for i in range(4)]
+        (batch,) = planner.plan(reqs)
+        shares = batch.tenant_cost_shares()
+        assert sum(shares.values()) == pytest.approx(batch.cost_v)
+        assert set(shares) == {"t0", "t1"}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FusionPlanner(price=_alpha_beta_price, max_fused=1)
+        with pytest.raises(ValueError):
+            FusionPlanner(price=_alpha_beta_price, threshold_bytes=-1)

@@ -1,0 +1,104 @@
+"""Deficit-round-robin: per-tenant isolation on priced service time."""
+
+import pytest
+
+from repro.service import DeficitRoundRobin
+from repro.service.request import CollectiveRequest, PayloadSpec
+
+
+def _req(tenant, seq, length=1, cls="batch"):
+    return CollectiveRequest(
+        rid=f"{tenant}/{seq}", tenant=tenant, sid=0, op="allreduce",
+        group=(0, 1, 2, 3), payload=PayloadSpec(length=length),
+        deadline_class=cls, seq=seq)
+
+
+def _unit_cost(req):
+    return float(req.payload.length)
+
+
+class TestRounds:
+    def test_round_on_empty_scheduler_is_empty(self):
+        assert DeficitRoundRobin(_unit_cost).round() == []
+
+    def test_single_tenant_fifo(self):
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=10.0)
+        reqs = [_req("a", i) for i in range(5)]
+        for r in reqs:
+            drr.enqueue(r)
+        assert drr.round() == reqs
+        assert drr.pending == 0
+
+    def test_equal_service_time_per_round(self):
+        # tenant a queues 3-unit requests, tenant b 1-unit requests:
+        # one quantum of 3 should dispatch one of a's and three of b's
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=3.0)
+        for i in range(4):
+            drr.enqueue(_req("a", i, length=3))
+        for i in range(12):
+            drr.enqueue(_req("b", i, length=1))
+        out = drr.round()
+        assert sum(1 for r in out if r.tenant == "a") == 1
+        assert sum(1 for r in out if r.tenant == "b") == 3
+
+    def test_chatty_tenant_cannot_starve_quiet_one(self):
+        drr = DeficitRoundRobin(_unit_cost)
+        for i in range(1000):
+            drr.enqueue(_req("hog", i))
+        drr.enqueue(_req("quiet", 0))
+        out = drr.round()
+        assert any(r.tenant == "quiet" for r in out)
+
+    def test_adaptive_quantum_dispatches_at_any_scale(self):
+        # costs far from 1.0 in both directions; every backlogged
+        # tenant must still dispatch at least one request per round
+        for scale in (1e-9, 1.0, 1e9):
+            drr = DeficitRoundRobin(
+                lambda r, s=scale: s * r.payload.length)
+            drr.enqueue(_req("a", 0))
+            drr.enqueue(_req("b", 0, length=7))
+            out = drr.round()
+            assert {r.tenant for r in out} == {"a", "b"}
+
+    def test_deficit_resets_when_idle(self):
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=1.0)
+        drr.enqueue(_req("a", 0, length=1))
+        assert len(drr.round()) == 1          # a now idle
+        # several empty rounds must not bank credit for a
+        drr.enqueue(_req("b", 0, length=1))
+        drr.round()
+        for i in range(3):
+            drr.enqueue(_req("a", 10 + i, length=1))
+        out = drr.round()
+        # one quantum = one unit -> exactly one of a's three requests
+        assert sum(1 for r in out if r.tenant == "a") == 1
+
+    def test_round_robin_order_is_first_seen(self):
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=5.0)
+        drr.enqueue(_req("z", 0))
+        drr.enqueue(_req("a", 0))
+        out = drr.round()
+        assert [r.tenant for r in out] == ["z", "a"]
+
+
+class TestDeadlineClasses:
+    def test_stricter_class_dispatches_first_within_tenant(self):
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=10.0)
+        drr.enqueue(_req("a", 0, cls="bulk"))
+        drr.enqueue(_req("a", 1, cls="interactive"))
+        drr.enqueue(_req("a", 2, cls="batch"))
+        out = drr.round()
+        assert [r.deadline_class for r in out] == \
+            ["interactive", "batch", "bulk"]
+
+    def test_classes_never_reorder_across_tenants(self):
+        # b's interactive request must not jump a's turn in the round
+        drr = DeficitRoundRobin(_unit_cost, quantum_s=1.0)
+        drr.enqueue(_req("a", 0, cls="bulk"))
+        drr.enqueue(_req("b", 0, cls="interactive"))
+        out = drr.round()
+        assert [r.tenant for r in out] == ["a", "b"]
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(_unit_cost, quantum_s=0.0)

@@ -1,0 +1,164 @@
+"""End-to-end service runs: determinism, bit-exactness, fairness."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.service import (ServiceConfig, ServiceCore, bursty_spec,
+                           execute_plan, mixed_spec, run_workload,
+                           serve_workload, storm_spec)
+from repro.sim import Machine, Mesh2D, PARAGON
+
+
+def _machine():
+    return Machine(Mesh2D(2, 3), PARAGON)
+
+
+def _core(machine, **cfg):
+    return ServiceCore(machine.nnodes, params=machine.params,
+                       topology=machine.topology,
+                       config=ServiceConfig(**cfg))
+
+
+def _assert_same_values(a, b, rids=None):
+    rids = sorted(set(a.results) & set(b.results)) if rids is None \
+        else sorted(rids)
+    assert rids, "nothing to compare"
+    for rid in rids:
+        assert set(a.results[rid]) == set(b.results[rid])
+        for rank, va in a.results[rid].items():
+            vb = b.results[rid][rank]
+            if va is None and vb is None:
+                continue
+            assert np.asarray(va).dtype == np.asarray(vb).dtype
+            assert (np.asarray(va) == np.asarray(vb)).all(), \
+                f"{rid} differs on rank {rank}"
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan_bytes(self):
+        spec = mixed_spec(tenants=3, requests=12)
+        plans = []
+        for _ in range(2):
+            core = _core(_machine())
+            plans.append(run_workload(core, spec, seed=42).to_dict())
+        assert json.dumps(plans[0], sort_keys=True, default=float) == \
+            json.dumps(plans[1], sort_keys=True, default=float)
+
+    def test_different_seed_different_traffic(self):
+        spec = mixed_spec(tenants=3, requests=12)
+        a = run_workload(_core(_machine()), spec, seed=1).to_dict()
+        b = run_workload(_core(_machine()), spec, seed=2).to_dict()
+        assert json.dumps(a, sort_keys=True, default=float) != \
+            json.dumps(b, sort_keys=True, default=float)
+
+    def test_every_submission_has_terminal_outcome(self):
+        spec = bursty_spec(tenants=3, requests=20)
+        core = _core(_machine(), admission_rate=80.0,
+                     admission_burst=2.0, queue_cap=8)
+        plan = run_workload(core, spec, seed=9)
+        assert plan.submitted == spec.total_requests
+        assert len(plan.outcomes) == plan.submitted
+        assert plan.rejected > 0, "bursty+rate-limit should reject some"
+        kinds = {o.rejection.kind for o in plan.outcomes.values()
+                 if o.status == "rejected"}
+        assert kinds <= {"rate-limit", "queue-full"}
+        assert all(o.status in ("ok", "rejected")
+                   for o in plan.outcomes.values())
+
+
+class TestFusedVsUnfused:
+    def test_storm_bit_exact_and_cheaper(self):
+        spec = storm_spec(tenants=3, requests=12, window=6)
+        reports = {}
+        for fusion in (True, False):
+            m = _machine()
+            reports[fusion] = serve_workload(
+                m, spec, seed=7, config=ServiceConfig(fusion=fusion))
+        fused, unfused = reports[True], reports[False]
+        assert fused.plan.fusion_ratio == 1.0
+        assert unfused.plan.fusion_ratio == 0.0
+        assert set(fused.results) == set(unfused.results)
+        _assert_same_values(fused, unfused)
+        # simulated wall time: the fused storm must be faster
+        assert fused.elapsed_s < unfused.elapsed_s
+        assert fused.requests_per_s >= 2.0 * unfused.requests_per_s
+
+    def test_mixed_workload_bit_exact(self):
+        spec = mixed_spec(tenants=3, requests=15)
+        reports = {}
+        for fusion in (True, False):
+            reports[fusion] = serve_workload(
+                _machine(), spec, seed=3,
+                config=ServiceConfig(fusion=fusion))
+        assert set(reports[True].results) == set(reports[False].results)
+        _assert_same_values(reports[True], reports[False])
+
+    def test_fused_batches_price_below_unfused(self):
+        spec = storm_spec(tenants=3, requests=10, window=5)
+        plan = run_workload(_core(_machine()), spec, seed=1)
+        fused = [b for b in plan.batches if b.fused]
+        assert fused
+        for b in fused:
+            assert b.cost_v < b.unfused_cost_v
+
+
+class TestFairness:
+    def test_symmetric_storm_is_fair(self):
+        spec = storm_spec(tenants=4, requests=15, window=6)
+        m = Machine(Mesh2D(2, 4), PARAGON)
+        rep = serve_workload(m, spec, seed=5, trace=True)
+        shares = rep.plan.tenant_shares()
+        assert len(shares) == 4
+        floor = 0.5 / 4
+        assert min(shares.values()) >= floor
+        assert rep.plan.fairness_index() > 0.95
+        # measured (span-derived) shares must exist and agree roughly
+        assert rep.measured_tenant_shares is not None
+        total = sum(rep.measured_tenant_shares.values())
+        for t, v in rep.measured_tenant_shares.items():
+            assert v / total == pytest.approx(shares[t], abs=0.1)
+
+    def test_latency_percentiles_populated(self):
+        spec = storm_spec(tenants=2, requests=10, window=4)
+        rep = serve_workload(_machine(), spec, seed=2)
+        lat = rep.plan.latency_percentiles()
+        assert lat["p50"] > 0 and lat["p99"] >= lat["p50"]
+        assert not math.isnan(lat["p99"])
+
+
+class TestExecuteContract:
+    def test_world_size_mismatch_rejected(self):
+        spec = storm_spec(tenants=2, requests=4, window=4)
+        plan = run_workload(_core(_machine()), spec, seed=1)
+        other = Machine(Mesh2D(2, 4), PARAGON)
+        with pytest.raises(ValueError):
+            execute_plan(other, plan)
+
+    def test_replaying_a_plan_does_not_mutate_it(self):
+        spec = storm_spec(tenants=2, requests=4, window=4)
+        plan = run_workload(_core(_machine()), spec, seed=1)
+        before = json.dumps(plan.to_dict(), sort_keys=True, default=float)
+        execute_plan(_machine(), plan)
+        execute_plan(_machine(), plan)
+        after = json.dumps(plan.to_dict(), sort_keys=True, default=float)
+        assert before == after
+
+
+class TestRuntimeBackend:
+    def test_storm_bit_exact_on_process_backend(self):
+        from repro.runtime import ProcessMachine
+        spec = storm_spec(tenants=2, requests=6, window=4)
+        reports = {}
+        for fusion in (True, False):
+            m = ProcessMachine(nprocs=3, timeout=60)
+            reports[fusion] = serve_workload(
+                m, spec, seed=4, config=ServiceConfig(fusion=fusion))
+        fused, unfused = reports[True], reports[False]
+        assert fused.backend == "ProcessMachine"
+        assert fused.accounted() and unfused.accounted()
+        assert set(fused.results) == set(unfused.results)
+        _assert_same_values(fused, unfused)
+        assert fused.plan.fusion_ratio == 1.0
